@@ -1,0 +1,53 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The benchmark suite regenerates every table and figure of the paper's
+evaluation.  Profiles are computed once per session at ``BUDGET``
+dynamic instructions per kernel (the analogue of the paper's fixed
+50M-instruction windows, scaled to the pure-Python substrate) and
+shared across the per-figure benchmarks.  Each benchmark prints the
+regenerated rows and also writes them under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.report import render
+from repro.exp.runner import collect_profiles
+
+#: per-kernel dynamic instruction budget for figures 3-8
+BUDGET = int(os.environ.get("REPRO_BENCH_BUDGET", "40000"))
+#: reduced budget for the finite-RTM grid (560 simulations)
+FIG9_BUDGET = int(os.environ.get("REPRO_BENCH_FIG9_BUDGET", "10000"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(max_instructions=BUDGET)
+
+
+@pytest.fixture(scope="session")
+def profiles(config):
+    """Per-benchmark analysis profiles, computed once per session."""
+    return collect_profiles(config)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a figure result to the real terminal and archive it."""
+
+    def _report(result):
+        text = render(result)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.figure_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report

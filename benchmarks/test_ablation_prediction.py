@@ -1,0 +1,59 @@
+"""Ablation: value prediction vs data value reuse (Sodani & Sohi [14]).
+
+The paper cites the prediction/reuse distinction: prediction supplies
+a result without waiting for operands (speculative), reuse waits for
+operands but is exact — and trace-level reuse amortises one operation
+over many instructions.  The regenerated table shows coverage and
+256-entry-window speed-up for last-value and stride predictors next
+to instruction- and trace-level reuse.
+"""
+
+from repro.exp.extensions import prediction_vs_reuse, warmup_sweep, window_sweep
+
+WORKLOADS = ("compress", "turb3d", "li", "gcc", "hydro2d", "applu")
+
+
+def test_ablation_prediction_vs_reuse(benchmark, report):
+    fig = benchmark.pedantic(
+        prediction_vs_reuse,
+        args=(WORKLOADS,),
+        kwargs={"max_instructions": 15_000},
+        rounds=1,
+        iterations=1,
+    )
+    report(fig)
+
+    # reuse covers more instructions than last-value prediction on
+    # these repetitive kernels...
+    assert fig.value("AVERAGE", "reusable_pct") > fig.value("AVERAGE", "lv_pred_pct")
+    # ...and trace-level reuse delivers the largest speed-up
+    tlr = fig.value("AVERAGE", "tlr_speedup")
+    for col in ("lv_speedup", "stride_speedup", "ilr_speedup"):
+        assert tlr >= fig.value("AVERAGE", col) - 1e-9
+
+
+def test_ext_window_sweep(benchmark, report):
+    fig = benchmark.pedantic(
+        window_sweep,
+        args=(("compress", "hydro2d", "li", "go"),),
+        kwargs={"max_instructions": 15_000},
+        rounds=1,
+        iterations=1,
+    )
+    report(fig)
+    ipcs = [row[1] for row in fig.rows]
+    assert ipcs == sorted(ipcs), "base IPC grows with window size"
+    assert all(row[2] >= 1.0 - 1e-9 for row in fig.rows)
+
+
+def test_ext_warmup_sensitivity(benchmark, report):
+    fig = benchmark.pedantic(
+        warmup_sweep,
+        args=(("compress", "li", "applu"),),
+        kwargs={"budgets": (5_000, 20_000, 60_000)},
+        rounds=1,
+        iterations=1,
+    )
+    report(fig)
+    rates = [row[1] for row in fig.rows]
+    assert rates == sorted(rates), "reusability grows as warm-up amortises"

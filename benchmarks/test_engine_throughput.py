@@ -1,0 +1,43 @@
+"""Throughput of the substrate itself (not a paper figure).
+
+Tracks the simulation cost of the three hot paths so performance
+regressions in the interpreter, the dataflow pass or the finite-RTM
+engine are visible: the whole evaluation is bounded by these loops.
+"""
+
+from repro.core.rtm.collector import ILRHeuristic
+from repro.core.rtm.memory import RTM_PRESETS
+from repro.core.rtm.simulator import FiniteReuseSimulator
+from repro.dataflow.model import DataflowModel
+from repro.vm.machine import Machine
+from repro.workloads.base import build_program, run_workload
+
+N = 10_000
+
+
+def test_vm_interpretation_throughput(benchmark):
+    program = build_program("compress")
+
+    def run():
+        return Machine(program).run(max_instructions=N)
+
+    trace = benchmark(run)
+    assert len(trace) == N
+
+
+def test_dataflow_pass_throughput(benchmark):
+    trace = run_workload("compress", max_instructions=N)
+    model = DataflowModel(window_size=256)
+    result = benchmark(model.analyze, trace)
+    assert result.instruction_count == N
+
+
+def test_finite_rtm_engine_throughput(benchmark):
+    trace = run_workload("compress", max_instructions=N)
+
+    def run():
+        sim = FiniteReuseSimulator(RTM_PRESETS["4K"], ILRHeuristic(expand=True))
+        return sim.run(trace)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.total_instructions == N

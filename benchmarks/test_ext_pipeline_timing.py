@@ -1,0 +1,38 @@
+"""Extension: cycle-level timing of the realistic finite-RTM engine.
+
+The paper's figure 9 measures how many instructions a finite RTM can
+reuse; this extension composes those reuse decisions with the cycle-
+level pipeline model (section 3 / figure 2 integration) to report the
+*speed-up* a realistic engine delivers on a bounded 4-wide core —
+bridging the limit study (figures 6/8) and the implementation study
+(figure 9).
+"""
+
+from repro.exp.extensions import realistic_engine_timing
+
+WORKLOADS = ("compress", "li", "gcc", "go", "vortex", "turb3d")
+
+
+def test_ext_realistic_engine_timing(benchmark, report):
+    fig = benchmark.pedantic(
+        realistic_engine_timing,
+        args=(WORKLOADS,),
+        kwargs={"max_instructions": 8_000},
+        rounds=1,
+        iterations=1,
+    )
+    report(fig)
+
+    avg = fig.row_for("AVERAGE")
+    headers = fig.headers
+    # reuse never slows the core down in this model
+    for row in fig.rows:
+        for col, value in zip(headers, row):
+            if col.startswith("speedup@"):
+                assert value >= 1.0 - 1e-9, row[0]
+    # a bigger RTM never reuses fewer instructions on average
+    assert fig.value("AVERAGE", "reused_pct@256K") >= fig.value(
+        "AVERAGE", "reused_pct@4K"
+    ) - 1e-9
+    # the engine delivers a real average speed-up at 256K entries
+    assert fig.value("AVERAGE", "speedup@256K") > 1.02

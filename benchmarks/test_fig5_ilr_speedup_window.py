@@ -1,0 +1,29 @@
+"""Figure 5: instruction-level reuse speed-up, 256-entry window.
+
+Paper result: very similar to the infinite window (average 1.43 vs
+1.50), with the extreme programs pulled towards the middle, and the
+same rapid decay when the reuse latency exceeds one cycle.
+"""
+
+from repro.exp.figures import figure5
+
+
+def test_fig5_ilr_speedup_finite_window(benchmark, profiles, config, report):
+    fig = benchmark.pedantic(
+        figure5, args=(profiles, config), rounds=3, iterations=1
+    )
+    report(fig)
+
+    average = fig.value("AVERAGE", "speedup")
+    assert average >= 1.0 - 1e-9
+
+    # (b) the latency sweep decays monotonically, like figure 4b
+    sweep = [fig.value(f"AVG@latency={lat}", "speedup") for lat in (1, 2, 3, 4)]
+    assert sweep == sorted(sweep, reverse=True)
+
+    rates = {
+        row[0]: row[1]
+        for row in fig.rows
+        if not str(row[0]).startswith(("AVG", "AVERAGE"))
+    }
+    assert all(r >= 1.0 - 1e-9 for r in rates.values())

@@ -1,0 +1,52 @@
+"""Figure 7: average maximal reusable trace size.
+
+Paper result: INT programs have fairly uniform trace sizes (14.5-36.7
+instructions); FP programs split into two camps — applu/apsi/fpppp
+with very short traces and low speed-up, versus hydro2d with traces up
+to 203 instructions and the longest in the suite.  Larger traces
+correlate with higher trace-reuse speed-ups.
+"""
+
+from repro.exp.figures import figure6, figure7
+
+
+def test_fig7_trace_sizes(benchmark, profiles, report):
+    fig = benchmark.pedantic(figure7, args=(profiles,), rounds=3, iterations=1)
+    report(fig)
+
+    sizes = {
+        row[0]: row[1]
+        for row in fig.rows
+        if not str(row[0]).startswith(("AVG", "AVERAGE"))
+    }
+    # hydro2d has the largest traces in the suite (paper: 203)
+    assert max(sizes, key=sizes.get) == "hydro2d"
+    # the short-trace FP camp: applu and fpppp
+    assert sizes["applu"] < 10 and sizes["fpppp"] < 10
+    assert sizes["hydro2d"] > 10 * sizes["applu"]
+
+
+def test_fig7_trace_size_correlates_with_speedup(profiles):
+    """The paper's observation: larger traces => higher speed-ups."""
+    fig7 = figure7(profiles)
+    fig6 = figure6(profiles)
+    names = [
+        row[0]
+        for row in fig7.rows
+        if not str(row[0]).startswith(("AVG", "AVERAGE"))
+    ]
+    sizes = [fig7.value(n, "avg_trace_size") for n in names]
+    speedups = [fig6.value(n, "speedup_w256") for n in names]
+    # rank correlation must be clearly positive
+    def ranks(vals):
+        order = sorted(range(len(vals)), key=lambda i: vals[i])
+        out = [0] * len(vals)
+        for rank, idx in enumerate(order):
+            out[idx] = rank
+        return out
+
+    rs, rp = ranks(sizes), ranks(speedups)
+    n = len(names)
+    d2 = sum((a - b) ** 2 for a, b in zip(rs, rp))
+    spearman = 1 - 6 * d2 / (n * (n * n - 1))
+    assert spearman > 0.3, f"trace size should correlate with speed-up ({spearman=})"

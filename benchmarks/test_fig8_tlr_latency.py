@@ -1,0 +1,50 @@
+"""Figure 8: trace-level reuse speed-up vs reuse latency (256-entry window).
+
+Paper result: (a) unlike instruction-level reuse, TLR keeps most of
+its benefit as the constant reuse latency grows from 1 to 4 cycles —
+one reuse operation amortises over a whole trace.  (b) With a latency
+proportional to the trace's I/O size (K x (inputs+outputs)), the
+speed-up is still high for realistic bandwidths: the paper calls out
+K=1/16 (~2.7 average), degrading gracefully as K grows toward 1.
+"""
+
+from repro.exp.figures import figure4, figure5, figure8
+
+
+def test_fig8_latency_sensitivity(benchmark, profiles, config, report):
+    fig = benchmark.pedantic(
+        figure8, args=(profiles, config), rounds=3, iterations=1
+    )
+    report(fig)
+
+    constant = [fig.value(f"constant@{lat}cyc", "speedup") for lat in (1, 2, 3, 4)]
+    # monotone decay...
+    assert constant == sorted(constant, reverse=True)
+    # ...but much gentler than ILR's (paper's figure 8a vs 5b): TLR
+    # retains most of its speed-up at 4 cycles
+    assert constant[3] >= 0.5 * constant[0]
+    assert constant[3] > 1.0
+
+    proportional = [
+        fig.value(f"proportional@K=1/{k}", "speedup") for k in (32, 16, 8, 4, 2, 1)
+    ]
+    assert proportional == sorted(proportional, reverse=True)
+    # the paper's reference point: K=1/16 keeps most of the benefit
+    assert fig.value("proportional@K=1/16", "speedup") > 1.0
+    assert (
+        fig.value("proportional@K=1/16", "speedup")
+        >= 0.6 * fig.value("constant@1cyc", "speedup")
+    )
+
+
+def test_fig8_tlr_degrades_slower_than_ilr(profiles, config):
+    """Contrast with figure 5b: ILR loses proportionally more of its
+    benefit between 1 and 4 cycles than TLR does."""
+    fig5 = figure5(profiles, config)
+    fig8 = figure8(profiles, config)
+    ilr_1 = fig5.value("AVG@latency=1", "speedup") - 1.0
+    ilr_4 = fig5.value("AVG@latency=4", "speedup") - 1.0
+    tlr_1 = fig8.value("constant@1cyc", "speedup") - 1.0
+    tlr_4 = fig8.value("constant@4cyc", "speedup") - 1.0
+    if ilr_1 > 0.01:  # only meaningful when ILR had a benefit to lose
+        assert tlr_4 / tlr_1 >= ilr_4 / ilr_1 - 0.05

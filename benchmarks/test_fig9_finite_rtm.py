@@ -1,0 +1,42 @@
+"""Figure 9: finite Reuse Trace Memory study.
+
+Paper result: (a) reusability grows strongly with RTM capacity (about
+25% of dynamic instructions at 4K entries, around 60% at 256K);
+(b) average reused-trace size grows with the I(n) heuristic's n, and
+dynamic expansion (ILR EXP) grows traces relative to ILR NE; larger
+traces trade away some reusability (the figure's headline trade-off).
+The full grid is 10 heuristics x 4 RTM sizes, averaged over the suite.
+"""
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.figures import figure9
+
+from conftest import FIG9_BUDGET
+
+
+def test_fig9_finite_rtm_grid(benchmark, report):
+    config = ExperimentConfig(max_instructions=FIG9_BUDGET)
+    fig = benchmark.pedantic(figure9, args=(config,), rounds=1, iterations=1)
+    report(fig)
+
+    cells = {(row[0], row[1]): (row[2], row[3]) for row in fig.rows}
+
+    # (a) reusability grows (weakly) with RTM capacity for every heuristic
+    heuristics = sorted({h for h, _ in cells})
+    for h in heuristics:
+        small_pct = cells[(h, "512")][0]
+        big_pct = cells[(h, "256K")][0]
+        assert big_pct >= small_pct - 1.0, f"{h}: more capacity should not hurt"
+
+    # (b) I(n) trace size grows with n...
+    sizes_by_n = [cells[(f"I{n} EXP", "256K")][1] for n in range(1, 9)]
+    assert sizes_by_n == sorted(sizes_by_n)
+    # ...and reusability pays for it (the paper's trade-off)
+    pct_by_n = [cells[(f"I{n} EXP", "256K")][0] for n in range(1, 9)]
+    assert pct_by_n[0] > pct_by_n[-1]
+
+    # dynamic expansion grows traces relative to no-expansion
+    assert cells[("ILR EXP", "256K")][1] >= cells[("ILR NE", "256K")][1]
+
+    # reuse percentages are meaningful fractions of the stream
+    assert any(pct > 5.0 for pct, _ in cells.values())

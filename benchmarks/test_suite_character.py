@@ -1,0 +1,46 @@
+"""Suite characterisation table plus the consolidated shape report.
+
+Not a paper figure; this regenerates (a) the workload-suite statistics
+that justify each kernel as a SPEC95 stand-in, and (b) the one-table
+summary of every qualitative claim the reproduction targets.
+"""
+
+from repro.exp.paper_reference import shape_checks, shape_report
+from repro.workloads.base import FP_SUITE, INT_SUITE
+from repro.workloads.characterize import suite_characterization
+
+
+def test_suite_characterization_table(benchmark, report):
+    fig = benchmark.pedantic(
+        suite_characterization,
+        args=(FP_SUITE + INT_SUITE,),
+        kwargs={"max_instructions": 10_000},
+        rounds=1,
+        iterations=1,
+    )
+    report(fig)
+
+    fp_col = fig.headers.index("fp%")
+    br_col = fig.headers.index("br%")
+    branchiness = {}
+    for row in fig.rows:
+        name = row[0]
+        if name in FP_SUITE:
+            assert row[fp_col] > 10.0, f"{name} should be FP-heavy"
+        else:
+            assert row[fp_col] == 0.0, f"{name} should be integer-only"
+        branchiness[name] = row[br_col]
+    # fpppp's signature is straight-line code (huge basic blocks): it
+    # must be the least branchy kernel; everything else is branchy
+    assert min(branchiness, key=branchiness.get) == "fpppp"
+    for name, share in branchiness.items():
+        if name != "fpppp":
+            assert share > 2.0, f"{name} should be branchy"
+
+
+def test_shape_report(benchmark, profiles, report):
+    fig = benchmark.pedantic(shape_report, args=(profiles,), rounds=1, iterations=1)
+    report(fig)
+    checks = shape_checks(profiles)
+    failing = [c.claim for c in checks if not c.holds]
+    assert not failing, f"shape regressions at bench budget: {failing}"

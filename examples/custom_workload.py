@@ -1,0 +1,98 @@
+"""Analysing a custom workload: naive string search.
+
+Run with::
+
+    python examples/custom_workload.py
+
+Shows how to bring your own kernel to the analysis pipeline and read
+the paper's headline comparison off it: instruction-level reuse is
+bounded by operand-arrival times, while trace-level reuse collapses
+whole dependent regions — so the gap between the two grows with how
+repetitive (and how serial) the code is.
+"""
+
+from repro import (
+    ConstantReuseLatency,
+    DataflowModel,
+    Machine,
+    ProportionalReuseLatency,
+    assemble,
+    ilr_reuse_plan,
+    instruction_reusability,
+    maximal_reusable_spans,
+    tlr_reuse_plan,
+)
+from repro.core.stats import trace_io_stats
+
+# Search every occurrence of a 4-character needle in a haystack, many
+# times over (think of a grep inner loop over a hot buffer).
+SOURCE = """
+    .data
+hay:    .word 3 1 4 1 5 9 2 6 5 3 5 8 9 7 9 3 1 4 1 5 2 6 5 3
+needle: .word 3 1 4 1
+nhits:  .word 0
+
+    .text
+main:
+    li   s7, 50               # repetitions
+again:
+    li   t0, 0                # haystack index
+    li   s5, 20               # last start position
+outer:
+    li   t1, 0                # needle index
+inner:
+    la   t2, hay
+    add  t2, t2, t0
+    add  t2, t2, t1
+    lw   t3, 0(t2)
+    la   t2, needle
+    add  t2, t2, t1
+    lw   t4, 0(t2)
+    bne  t3, t4, nomatch
+    addi t1, t1, 1
+    li   t5, 4
+    blt  t1, t5, inner
+    la   t2, nhits            # full match
+    lw   t6, 0(t2)
+    addi t6, t6, 1
+    sw   t6, 0(t2)
+nomatch:
+    addi t0, t0, 1
+    ble  t0, s5, outer
+    subi s7, s7, 1
+    bgtz s7, again
+    halt
+"""
+
+
+def main() -> None:
+    trace = Machine(assemble(SOURCE, name="strsearch")).run(max_instructions=40_000)
+    reuse = instruction_reusability(trace)
+    spans = maximal_reusable_spans(trace, reuse.flags)
+    stats = trace_io_stats(spans)
+
+    print(f"dynamic instructions : {len(trace)}")
+    print(f"reusability          : {reuse.percent_reusable:.1f}%")
+    print(f"traces               : {stats.trace_count} "
+          f"(avg {stats.avg_trace_size:.1f} instructions, "
+          f"{stats.avg_inputs:.1f} live-ins, {stats.avg_outputs:.1f} live-outs)")
+
+    for window in (None, 256):
+        model = DataflowModel(window_size=window)
+        base = model.analyze(trace)
+        ilr = model.analyze(trace, ilr_reuse_plan(trace, reuse.flags, 1.0))
+        tlr_const = model.analyze(
+            trace, tlr_reuse_plan(trace, spans, ConstantReuseLatency(1.0))
+        )
+        tlr_prop = model.analyze(
+            trace, tlr_reuse_plan(trace, spans, ProportionalReuseLatency(1 / 16))
+        )
+        label = "infinite window" if window is None else f"{window}-entry window"
+        print(f"\n{label}: base IPC {base.ipc:.2f}")
+        print(f"  instruction-level reuse  speed-up {ilr.speedup_over(base):.2f}")
+        print(f"  trace-level reuse @1cyc  speed-up {tlr_const.speedup_over(base):.2f}")
+        print(f"  trace-level reuse @K=1/16 speed-up {tlr_prop.speedup_over(base):.2f}")
+
+
+if __name__ == "__main__":
+    main()

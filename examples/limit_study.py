@@ -1,0 +1,35 @@
+"""A miniature of the paper's whole limit study.
+
+Run with::
+
+    python examples/limit_study.py [budget]
+
+Runs the full 14-kernel suite through the figures-3/6/7 pipeline at a
+configurable instruction budget and prints the paper-style tables.
+This is the programmatic equivalent of what the benchmark harness
+does — use it when you want the numbers without pytest.
+"""
+
+import sys
+import time
+
+from repro.exp import ExperimentConfig, collect_profiles, figure3, figure6, figure7
+from repro.exp.report import render
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    config = ExperimentConfig(max_instructions=budget)
+    start = time.perf_counter()
+    profiles = collect_profiles(config)
+    elapsed = time.perf_counter() - start
+    total = sum(p.dynamic_count for p in profiles)
+    print(f"analysed {total} dynamic instructions over "
+          f"{len(profiles)} kernels in {elapsed:.1f}s\n")
+    for figure in (figure3(profiles), figure6(profiles), figure7(profiles)):
+        print(render(figure))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Exploring the finite Reuse Trace Memory design space.
+
+Run with::
+
+    python examples/rtm_design_space.py [workload] [budget]
+
+For one workload, sweeps the paper's four RTM capacities against a
+selection of trace-collection heuristics and prints the figure-9
+metrics (percentage of reused instructions, average reused trace
+size) plus RTM occupancy — the numbers an architect would look at
+when sizing the structure.
+"""
+
+import sys
+
+from repro import FiniteReuseSimulator, FixedLengthHeuristic, ILRHeuristic, RTM_PRESETS
+from repro.util.tables import format_table
+from repro.workloads.base import run_workload
+
+HEURISTICS = [
+    ILRHeuristic(expand=False),
+    ILRHeuristic(expand=True),
+    FixedLengthHeuristic(2),
+    FixedLengthHeuristic(4),
+    FixedLengthHeuristic(8),
+]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    trace = run_workload(workload, max_instructions=budget)
+    print(f"workload={workload}, {len(trace)} dynamic instructions\n")
+
+    rows = []
+    for heuristic in HEURISTICS:
+        for rtm_name in ("512", "4K", "32K", "256K"):
+            sim = FiniteReuseSimulator(RTM_PRESETS[rtm_name], heuristic)
+            result = sim.run(trace)
+            rows.append(
+                [
+                    heuristic.name,
+                    rtm_name,
+                    result.percent_reused,
+                    result.avg_reused_trace_size,
+                    result.reuse_events,
+                    result.rtm_occupancy,
+                ]
+            )
+    print(
+        format_table(
+            ["heuristic", "rtm", "reused_pct", "avg_trace", "events", "occupancy"],
+            rows,
+            title=f"Finite-RTM design space for {workload}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

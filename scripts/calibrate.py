@@ -1,0 +1,66 @@
+"""Developer calibration: per-kernel reusability / trace-size profile.
+
+Usage: python scripts/calibrate.py [kernel ...] [--budget N]
+
+Prints, for each kernel, the metrics the paper's figures are built
+from, so kernel authors can steer each workload toward its SPEC95
+counterpart's profile.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.baselines.ilr import instruction_reusability, ilr_reuse_plan
+from repro.core.traces import average_span_length, maximal_reusable_spans
+from repro.core.reuse_tlr import ConstantReuseLatency, tlr_reuse_plan
+from repro.dataflow.model import DataflowModel
+
+
+def profile(name: str, budget: int) -> None:
+    from repro.workloads.base import run_workload
+
+    t0 = time.perf_counter()
+    trace = run_workload(name, max_instructions=budget)
+    t_run = time.perf_counter() - t0
+    reuse = instruction_reusability(trace)
+    spans = maximal_reusable_spans(trace, reuse.flags)
+    infinite = DataflowModel(window_size=None)
+    limited = DataflowModel(window_size=256)
+    base_inf = infinite.analyze(trace)
+    base_win = limited.analyze(trace)
+    ilr_plan = ilr_reuse_plan(trace, reuse.flags, 1.0)
+    tlr_plan = tlr_reuse_plan(trace, spans, ConstantReuseLatency(1.0))
+    ilr_inf = infinite.analyze(trace, ilr_plan)
+    ilr_win = limited.analyze(trace, ilr_plan)
+    tlr_inf = infinite.analyze(trace, tlr_plan)
+    tlr_win = limited.analyze(trace, tlr_plan)
+    print(
+        f"{name:10s} n={len(trace):6d} reuse%={reuse.percent_reusable:5.1f} "
+        f"tracesz={average_span_length(spans):7.1f} "
+        f"ipc_inf={base_inf.ipc:6.2f} ipc_w256={base_win.ipc:6.2f} "
+        f"ilr_su=({ilr_inf.speedup_over(base_inf):4.2f},{ilr_win.speedup_over(base_win):4.2f}) "
+        f"tlr_su=({tlr_inf.speedup_over(base_inf):5.2f},{tlr_win.speedup_over(base_win):5.2f}) "
+        f"[{t_run:4.1f}s run]"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("kernels", nargs="*")
+    parser.add_argument("--budget", type=int, default=60_000)
+    args = parser.parse_args()
+    import repro.workloads  # noqa: F401
+
+    from repro.workloads.base import _REGISTRY
+
+    names = args.kernels or sorted(_REGISTRY)
+    for name in names:
+        try:
+            profile(name, args.budget)
+        except Exception as exc:  # calibration tool: report and continue
+            print(f"{name:10s} FAILED: {exc}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment this repository is developed in has an old setuptools
+without PEP 660 editable-install support; ``pip install -e .`` falls
+back to this file.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

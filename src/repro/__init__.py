@@ -1,0 +1,104 @@
+"""repro — a reproduction of "Trace-Level Reuse" (González, Tubella &
+Molina, ICPP 1999).
+
+The package provides, bottom-up:
+
+- :mod:`repro.isa` / :mod:`repro.vm` — a RISC-like ISA, assembler and
+  tracing interpreter (the Alpha + ATOM stand-in);
+- :mod:`repro.workloads` — 14 kernels mirroring the SPEC95 subset;
+- :mod:`repro.dataflow` — the Austin-Sohi completion-time limit model;
+- :mod:`repro.baselines` — instruction-level reuse and basic-block
+  reuse baselines;
+- :mod:`repro.core` — trace-level reuse: the trace model, reuse-aware
+  timing, and the finite Reuse Trace Memory engine;
+- :mod:`repro.exp` — drivers that regenerate every figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import assemble, Machine, instruction_reusability
+
+    program = assemble(SOURCE)
+    trace = Machine(program).run(max_instructions=10_000)
+    print(instruction_reusability(trace).percent_reusable)
+"""
+
+from repro.baselines.ilr import (
+    InstructionReuseBuffer,
+    ilr_reuse_plan,
+    instruction_reusability,
+)
+from repro.core.reuse_tlr import (
+    ConstantReuseLatency,
+    ProportionalReuseLatency,
+    tlr_reuse_plan,
+)
+from repro.baselines.prediction import (
+    LastValuePredictor,
+    StridePredictor,
+    value_predictability,
+    value_prediction_plan,
+)
+from repro.core.rtm import (
+    FiniteReuseSimulator,
+    FixedLengthHeuristic,
+    ILRHeuristic,
+    InvalidatingRTM,
+    ReuseTraceMemory,
+    RTM_PRESETS,
+    RTMConfig,
+)
+from repro.core.traces import TraceLimits, maximal_reusable_spans
+from repro.dataflow.model import DataflowModel, ReusePoint, TimingResult
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import collect_profiles, run_profile
+from repro.isa.disasm import disassemble
+from repro.pipeline import PipelineConfig, PipelineModel, PipelineResult
+from repro.vm.assembler import AssemblyError, assemble
+from repro.vm.machine import Machine
+from repro.vm.program import Program
+from repro.vm.trace import DynInst, Trace
+from repro.vm.tracefile import load_trace, save_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "assemble",
+    "AssemblyError",
+    "Machine",
+    "Program",
+    "Trace",
+    "DynInst",
+    "DataflowModel",
+    "ReusePoint",
+    "TimingResult",
+    "instruction_reusability",
+    "ilr_reuse_plan",
+    "InstructionReuseBuffer",
+    "maximal_reusable_spans",
+    "TraceLimits",
+    "tlr_reuse_plan",
+    "ConstantReuseLatency",
+    "ProportionalReuseLatency",
+    "ReuseTraceMemory",
+    "InvalidatingRTM",
+    "RTMConfig",
+    "RTM_PRESETS",
+    "ILRHeuristic",
+    "FixedLengthHeuristic",
+    "FiniteReuseSimulator",
+    "ExperimentConfig",
+    "run_profile",
+    "collect_profiles",
+    "LastValuePredictor",
+    "StridePredictor",
+    "value_predictability",
+    "value_prediction_plan",
+    "PipelineModel",
+    "PipelineConfig",
+    "PipelineResult",
+    "disassemble",
+    "save_trace",
+    "load_trace",
+]

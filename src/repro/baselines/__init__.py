@@ -1,0 +1,24 @@
+"""Baseline reuse techniques the paper compares against.
+
+- :mod:`repro.baselines.ilr` — instruction-level reuse (Sodani & Sohi
+  style), both the infinite-history limit and a finite reuse buffer.
+- :mod:`repro.baselines.block` — basic-block reuse (Huang & Lilja),
+  i.e. trace-level reuse with traces clipped at basic-block
+  boundaries; used as an ablation.
+"""
+
+from repro.baselines.block import basic_block_spans
+from repro.baselines.ilr import (
+    InstructionReuseBuffer,
+    ReusabilityResult,
+    ilr_reuse_plan,
+    instruction_reusability,
+)
+
+__all__ = [
+    "instruction_reusability",
+    "ilr_reuse_plan",
+    "ReusabilityResult",
+    "InstructionReuseBuffer",
+    "basic_block_spans",
+]

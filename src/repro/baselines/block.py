@@ -1,0 +1,54 @@
+"""Basic-block reuse (Huang & Lilja, HPCA 1999) as an ablation.
+
+The paper positions basic-block reuse as "a particular case of
+trace-level reuse in which traces are limited to basic blocks".  We
+reproduce that restriction by splitting each maximal reusable run at
+basic-block boundaries: a control-transfer instruction (branch or
+jump) ends a block, and a taken control transfer begins a new one.
+Comparing the resulting speed-up against unrestricted trace-level
+reuse quantifies how much the generality of traces buys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.isa.opcodes import OpClass
+from repro.vm.trace import DynInst, Trace
+
+
+def basic_block_spans(
+    trace: Trace | Sequence[DynInst],
+    flags: Sequence[bool],
+) -> list[tuple[int, int]]:
+    """Split maximal reusable runs at basic-block boundaries.
+
+    Returns ``(start, stop)`` index pairs (half-open) such that every
+    span lies inside one maximal run of reusable instructions *and*
+    inside one basic block.  A branch or jump terminates its block
+    (the control transfer itself is the last instruction of the
+    block); a discontinuous ``next_pc`` also forces a boundary, which
+    catches fall-through targets of taken branches elsewhere.
+    """
+    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    if len(flags) != len(instructions):
+        raise ValueError("flags must align with the instruction stream")
+    spans: list[tuple[int, int]] = []
+    start: int | None = None
+    for i, (inst, flag) in enumerate(zip(instructions, flags)):
+        if not flag:
+            if start is not None:
+                spans.append((start, i))
+                start = None
+            continue
+        if start is None:
+            start = i
+        ends_block = inst.op_class in (OpClass.BRANCH, OpClass.JUMP) or (
+            inst.next_pc != inst.pc + 1
+        )
+        if ends_block:
+            spans.append((start, i + 1))
+            start = None
+    if start is not None:
+        spans.append((start, len(instructions)))
+    return spans

@@ -1,0 +1,115 @@
+"""Value prediction baseline (the Sodani & Sohi [14] comparison).
+
+The paper contrasts data value *reuse* with data value *prediction*:
+reuse is non-speculative but must wait for the instruction's inputs to
+be available before the reuse test; prediction supplies the result
+immediately (validation happens off the critical path) but is
+speculative.  In the oracle limit model used here, a correctly
+predicted instruction completes one cycle after fetch with **no
+dependence on its producers** — contrast with
+:func:`repro.baselines.ilr.ilr_reuse_plan`, whose reuse points are
+gated by the instruction's own read locations.
+
+Two classic predictors are provided:
+
+- :class:`LastValuePredictor` — predicts the previous output values of
+  the static instruction;
+- :class:`StridePredictor` — predicts ``last + (last - previous)`` for
+  numeric outputs, capturing induction variables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.dataflow.model import ReusePoint
+from repro.vm.trace import DynInst, Trace
+
+
+class LastValuePredictor:
+    """Predicts each static instruction repeats its previous outputs."""
+
+    def __init__(self) -> None:
+        self._last: dict[int, tuple] = {}
+
+    def predict_and_update(self, inst: DynInst) -> bool:
+        """True if every output value was predicted correctly."""
+        actual = tuple(value for _loc, value in inst.writes)
+        predicted = self._last.get(inst.pc)
+        self._last[inst.pc] = actual
+        return predicted == actual and bool(actual)
+
+
+class StridePredictor:
+    """Last-value plus stride: catches arithmetic progressions."""
+
+    def __init__(self) -> None:
+        self._last: dict[int, tuple] = {}
+        self._stride: dict[int, tuple] = {}
+
+    def predict_and_update(self, inst: DynInst) -> bool:
+        """True if every output value matched ``last + stride``."""
+        actual = tuple(value for _loc, value in inst.writes)
+        last = self._last.get(inst.pc)
+        stride = self._stride.get(inst.pc)
+        correct = False
+        if last is not None and len(last) == len(actual):
+            if stride is not None and len(stride) == len(actual):
+                prediction = tuple(l + s for l, s in zip(last, stride))
+            else:
+                prediction = last
+            correct = prediction == actual and bool(actual)
+            try:
+                self._stride[inst.pc] = tuple(a - l for a, l in zip(actual, last))
+            except TypeError:  # non-numeric outputs: no stride
+                self._stride.pop(inst.pc, None)
+        self._last[inst.pc] = actual
+        return correct
+
+
+@dataclass(slots=True)
+class PredictionResult:
+    """Coverage of a value predictor over a stream."""
+
+    flags: list[bool] = field(default_factory=list)
+    predicted_count: int = 0
+    total_count: int = 0
+
+    @property
+    def percent_predicted(self) -> float:
+        """Percentage of dynamic instructions with all outputs predicted."""
+        if self.total_count == 0:
+            return 0.0
+        return 100.0 * self.predicted_count / self.total_count
+
+
+def value_predictability(
+    trace: Trace | Sequence[DynInst], predictor
+) -> PredictionResult:
+    """Run a predictor over a stream, recording per-instruction hits."""
+    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    result = PredictionResult()
+    for inst in instructions:
+        hit = predictor.predict_and_update(inst)
+        result.flags.append(hit)
+        result.predicted_count += hit
+    result.total_count = len(result.flags)
+    return result
+
+
+def value_prediction_plan(
+    trace: Trace | Sequence[DynInst],
+    flags: Sequence[bool],
+    *,
+    latency: float = 1.0,
+) -> list[ReusePoint | None]:
+    """Timing plan: predicted instructions complete without waiting
+    for their producers (``inputs=()``) — the key difference from
+    instruction-level reuse, which is operand-gated."""
+    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    if len(flags) != len(instructions):
+        raise ValueError("flags must align with the instruction stream")
+    return [
+        ReusePoint(inputs=(), latency=latency) if hit else None for hit in flags
+    ]

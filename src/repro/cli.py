@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``workloads``
+    List the registered benchmark kernels.
+``run WORKLOAD``
+    Execute a kernel and print stream statistics (optionally saving
+    the trace with ``--save-trace``).
+``analyze WORKLOAD``
+    The full single-kernel analysis: reusability, trace sizes, and
+    base/ILR/TLR timing for both window scenarios.
+``figures``
+    Regenerate the paper's figures 3-8 tables (and figure 9 with
+    ``--fig9``).
+``rtm WORKLOAD``
+    Finite-RTM sweep for one kernel (sizes x heuristics, both reuse
+    tests).
+``disasm WORKLOAD``
+    Disassemble a kernel's text segment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines.ilr import ilr_reuse_plan, instruction_reusability
+from repro.core.reuse_tlr import ConstantReuseLatency, tlr_reuse_plan
+from repro.core.rtm.collector import FixedLengthHeuristic, ILRHeuristic
+from repro.core.rtm.memory import RTM_PRESETS
+from repro.core.rtm.simulator import FiniteReuseSimulator
+from repro.core.stats import trace_io_stats
+from repro.core.traces import maximal_reusable_spans
+from repro.dataflow.model import DataflowModel
+from repro.exp.config import ExperimentConfig
+from repro.exp.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    trace_io_summary,
+)
+from repro.exp.report import render
+from repro.exp.runner import collect_profiles
+from repro.isa.disasm import disassemble
+from repro.util.tables import format_table
+from repro.vm.tracefile import save_trace
+from repro.workloads.base import all_workloads, build_program, run_workload
+
+
+def _cmd_workloads(_args) -> int:
+    rows = [[w.name, w.suite, w.description] for w in all_workloads()]
+    print(format_table(["name", "suite", "description"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    trace = run_workload(args.workload, max_instructions=args.budget)
+    print(f"{args.workload}: {len(trace)} dynamic instructions "
+          f"(halted={trace.halted})")
+    hist = sorted(
+        trace.class_histogram().items(), key=lambda kv: kv[1], reverse=True
+    )
+    print(format_table(
+        ["class", "count", "share"],
+        [[cls.name, count, f"{100 * count / len(trace):.1f}%"]
+         for cls, count in hist],
+    ))
+    if args.save_trace:
+        save_trace(trace, args.save_trace)
+        print(f"trace written to {args.save_trace}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    trace = run_workload(args.workload, max_instructions=args.budget)
+    reuse = instruction_reusability(trace)
+    spans = maximal_reusable_spans(trace, reuse.flags)
+    stats = trace_io_stats(spans)
+    print(f"{args.workload}: {len(trace)} instructions, "
+          f"{reuse.percent_reusable:.1f}% reusable, "
+          f"{stats.trace_count} traces (avg {stats.avg_trace_size:.1f} instr, "
+          f"{stats.avg_inputs:.1f} in / {stats.avg_outputs:.1f} out)")
+    rows = []
+    for window in (None, args.window):
+        model = DataflowModel(window_size=window)
+        base = model.analyze(trace)
+        ilr = model.analyze(trace, ilr_reuse_plan(trace, reuse.flags, 1.0))
+        tlr = model.analyze(
+            trace, tlr_reuse_plan(trace, spans, ConstantReuseLatency(1.0))
+        )
+        label = "infinite" if window is None else f"W={window}"
+        rows.append([label, base.ipc, ilr.speedup_over(base), tlr.speedup_over(base)])
+    print(format_table(["window", "base_ipc", "ilr_speedup", "tlr_speedup"], rows))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    config = ExperimentConfig(max_instructions=args.budget)
+    profiles = collect_profiles(config)
+    for result in (
+        figure3(profiles),
+        figure4(profiles, config),
+        figure5(profiles, config),
+        figure6(profiles),
+        figure7(profiles),
+        figure8(profiles, config),
+        trace_io_summary(profiles),
+    ):
+        print(render(result))
+        print()
+    if args.fig9:
+        fig9_config = ExperimentConfig(max_instructions=args.fig9_budget)
+        print(render(figure9(fig9_config)))
+    return 0
+
+
+def _cmd_rtm(args) -> int:
+    trace = run_workload(args.workload, max_instructions=args.budget)
+    heuristics = [ILRHeuristic(False), ILRHeuristic(True),
+                  FixedLengthHeuristic(4)]
+    rows = []
+    for reuse_test in ("compare", "invalidate"):
+        for heuristic in heuristics:
+            for rtm_name in args.sizes:
+                sim = FiniteReuseSimulator(
+                    RTM_PRESETS[rtm_name], heuristic, reuse_test=reuse_test
+                )
+                result = sim.run(trace)
+                rows.append([
+                    reuse_test, heuristic.name, rtm_name,
+                    result.percent_reused, result.avg_reused_trace_size,
+                    result.rtm_invalidations,
+                ])
+    print(format_table(
+        ["reuse_test", "heuristic", "rtm", "reused_pct", "avg_trace", "invalidations"],
+        rows,
+        title=f"Finite-RTM sweep for {args.workload} ({len(trace)} instructions)",
+    ))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    program = build_program(args.workload)
+    print(disassemble(program, with_pcs=True))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.workloads.base import FP_SUITE, INT_SUITE
+    from repro.workloads.characterize import suite_characterization
+
+    names = args.workloads or (FP_SUITE + INT_SUITE)
+    fig = suite_characterization(names, max_instructions=args.budget)
+    print(render(fig))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trace-level reuse (ICPP 1999) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list benchmark kernels")
+
+    p_run = sub.add_parser("run", help="execute a kernel")
+    p_run.add_argument("workload")
+    p_run.add_argument("--budget", type=int, default=20_000)
+    p_run.add_argument("--save-trace", metavar="PATH")
+
+    p_an = sub.add_parser("analyze", help="full single-kernel analysis")
+    p_an.add_argument("workload")
+    p_an.add_argument("--budget", type=int, default=20_000)
+    p_an.add_argument("--window", type=int, default=256)
+
+    p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
+    p_fig.add_argument("--budget", type=int, default=20_000)
+    p_fig.add_argument("--fig9", action="store_true",
+                       help="also run the (slow) finite-RTM grid")
+    p_fig.add_argument("--fig9-budget", type=int, default=8_000)
+
+    p_rtm = sub.add_parser("rtm", help="finite-RTM design sweep")
+    p_rtm.add_argument("workload")
+    p_rtm.add_argument("--budget", type=int, default=12_000)
+    p_rtm.add_argument("--sizes", nargs="+", default=["512", "4K"],
+                       choices=list(RTM_PRESETS))
+
+    p_dis = sub.add_parser("disasm", help="disassemble a kernel")
+    p_dis.add_argument("workload")
+
+    p_ch = sub.add_parser("characterize", help="workload suite statistics")
+    p_ch.add_argument("workloads", nargs="*")
+    p_ch.add_argument("--budget", type=int, default=10_000)
+    return parser
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "run": _cmd_run,
+    "analyze": _cmd_analyze,
+    "figures": _cmd_figures,
+    "rtm": _cmd_rtm,
+    "disasm": _cmd_disasm,
+    "characterize": _cmd_characterize,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

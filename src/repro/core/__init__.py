@@ -1,0 +1,39 @@
+"""Trace-level reuse: the paper's primary contribution.
+
+- :mod:`repro.core.traces` — the trace model: live-in/live-out
+  computation, maximal-reusable-trace partitioning (the Theorem 1
+  construction) and per-trace I/O limits.
+- :mod:`repro.core.reuse_tlr` — trace-level reuse timing plans with
+  constant and proportional reuse-latency models (sections 4.4/4.5).
+- :mod:`repro.core.stats` — per-trace input/output statistics
+  (section 4.5's bandwidth discussion).
+- :mod:`repro.core.rtm` — the finite Reuse Trace Memory, dynamic
+  trace-collection heuristics and the realistic engine (section 4.6).
+"""
+
+from repro.core.reuse_tlr import (
+    ConstantReuseLatency,
+    ProportionalReuseLatency,
+    tlr_reuse_plan,
+)
+from repro.core.stats import TraceIOStats, trace_io_stats
+from repro.core.traces import (
+    TraceLimits,
+    TraceSpan,
+    compute_liveness,
+    maximal_reusable_spans,
+    spans_from_ranges,
+)
+
+__all__ = [
+    "TraceSpan",
+    "TraceLimits",
+    "compute_liveness",
+    "maximal_reusable_spans",
+    "spans_from_ranges",
+    "tlr_reuse_plan",
+    "ConstantReuseLatency",
+    "ProportionalReuseLatency",
+    "TraceIOStats",
+    "trace_io_stats",
+]

@@ -1,0 +1,34 @@
+"""Finite Reuse Trace Memory and the realistic engine (section 4.6)."""
+
+from repro.core.rtm.collector import (
+    FixedLengthHeuristic,
+    Heuristic,
+    ILRHeuristic,
+    TraceCollector,
+)
+from repro.core.rtm.entry import RTMEntry
+from repro.core.rtm.invalidating import InvalidatingRTM
+from repro.core.rtm.memory import (
+    RTM_PRESETS,
+    ReuseTraceMemory,
+    RTMConfig,
+    hashed_index,
+    pc_index,
+)
+from repro.core.rtm.simulator import FiniteReuseSimulator, FiniteReuseResult
+
+__all__ = [
+    "RTMEntry",
+    "ReuseTraceMemory",
+    "InvalidatingRTM",
+    "RTMConfig",
+    "RTM_PRESETS",
+    "pc_index",
+    "hashed_index",
+    "Heuristic",
+    "ILRHeuristic",
+    "FixedLengthHeuristic",
+    "TraceCollector",
+    "FiniteReuseSimulator",
+    "FiniteReuseResult",
+]

@@ -1,0 +1,159 @@
+"""The valid-bit Reuse Trace Memory (the paper's second reuse test).
+
+Section 3.3 describes two ways to decide whether a trace is reusable:
+
+1. read the current values of all input locations and compare them
+   with the stored ones (what :class:`~repro.core.rtm.memory
+   .ReuseTraceMemory` does); or
+2. keep a **valid bit** per entry: set it when the trace is stored,
+   and clear it whenever *any* register or memory location in the
+   entry's input list is written.  The reuse test is then just a
+   valid-bit check — much simpler hardware, but conservative: a write
+   that stores the *same* value still invalidates.
+
+``InvalidatingRTM`` implements scheme 2 behind the same interface as
+the comparing RTM, so :class:`~repro.core.rtm.simulator
+.FiniteReuseSimulator` can drive either.  The ablation benchmark
+quantifies the reuse the conservatism gives up (entries whose inputs
+include frequently rewritten registers barely survive).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.rtm.entry import RTMEntry
+from repro.core.rtm.memory import RTMConfig
+
+
+class InvalidatingRTM:
+    """Set-associative trace memory with write-invalidation.
+
+    Same geometry and two-level LRU as the comparing RTM; entries die
+    on any write to one of their input locations rather than being
+    value-checked at lookup.  Callers must forward every architectural
+    write via :meth:`on_write` (the simulator does this when
+    ``rtm.needs_write_events`` is true).
+    """
+
+    needs_write_events = True
+
+    def __init__(self, config: RTMConfig):
+        if config.num_sets <= 0 or config.ways <= 0 or config.traces_per_pc <= 0:
+            raise ValueError("RTM geometry values must be positive")
+        self.config = config
+        self._sets: list[OrderedDict[int, OrderedDict[tuple, RTMEntry]]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        # input location -> set of (set_index, pc, identity) holders
+        self._watchers: dict[int, set[tuple[int, int, tuple]]] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.insertions = 0
+        self.invalidations = 0
+        self.trace_evictions = 0
+        self.pc_evictions = 0
+
+    # ------------------------------------------------------------------
+    def _set_for(self, pc: int) -> OrderedDict:
+        return self._sets[pc % self.config.num_sets]
+
+    def _watch(self, entry: RTMEntry) -> None:
+        key = (entry.start_pc % self.config.num_sets, entry.start_pc, entry.identity())
+        for loc, _value in entry.inputs:
+            self._watchers.setdefault(loc, set()).add(key)
+
+    def _unwatch(self, entry: RTMEntry) -> None:
+        key = (entry.start_pc % self.config.num_sets, entry.start_pc, entry.identity())
+        for loc, _value in entry.inputs:
+            holders = self._watchers.get(loc)
+            if holders:
+                holders.discard(key)
+                if not holders:
+                    del self._watchers[loc]
+
+    # ------------------------------------------------------------------
+    def on_write(self, loc: int) -> None:
+        """Invalidate every entry whose input list contains ``loc``."""
+        holders = self._watchers.pop(loc, None)
+        if not holders:
+            return
+        for set_index, pc, identity in holders:
+            bucket = self._sets[set_index].get(pc)
+            if bucket is None:
+                continue
+            entry = bucket.pop(identity, None)
+            if entry is not None:
+                self.invalidations += 1
+                self._unwatch(entry)
+                if not bucket:
+                    del self._sets[set_index][pc]
+
+    def lookup(self, pc: int, current: dict[int, int | float]) -> RTMEntry | None:
+        """Valid-bit reuse test: any surviving entry at this PC matches.
+
+        The ``current`` mapping is accepted for interface compatibility
+        but *not* consulted — validity guarantees the inputs still hold
+        their recorded values (every write to them invalidates).
+        """
+        self.lookups += 1
+        entry_set = self._set_for(pc)
+        bucket = entry_set.get(pc)
+        if not bucket:
+            return None
+        best: RTMEntry | None = None
+        for entry in bucket.values():
+            if best is None or entry.length > best.length:
+                best = entry
+        if best is None:
+            return None
+        self.hits += 1
+        bucket.move_to_end(best.identity())
+        entry_set.move_to_end(pc)
+        return best
+
+    def insert(self, entry: RTMEntry) -> None:
+        """Store a trace; same replacement policy as the comparing RTM."""
+        entry_set = self._set_for(entry.start_pc)
+        bucket = entry_set.get(entry.start_pc)
+        if bucket is None:
+            if len(entry_set) >= self.config.ways:
+                _pc, victims = entry_set.popitem(last=False)
+                for victim in victims.values():
+                    self._unwatch(victim)
+                self.pc_evictions += 1
+            bucket = OrderedDict()
+            entry_set[entry.start_pc] = bucket
+        key = entry.identity()
+        if key in bucket:
+            bucket.move_to_end(key)
+            entry_set.move_to_end(entry.start_pc)
+            return
+        if len(bucket) >= self.config.traces_per_pc:
+            _k, victim = bucket.popitem(last=False)
+            self._unwatch(victim)
+            self.trace_evictions += 1
+        bucket[key] = entry
+        self._watch(entry)
+        entry_set.move_to_end(entry.start_pc)
+        self.insertions += 1
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid traces currently stored."""
+        return sum(
+            len(bucket) for entry_set in self._sets for bucket in entry_set.values()
+        )
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0 when never probed)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stored_entries(self) -> list[RTMEntry]:
+        """All valid traces (for inspection and tests)."""
+        return [
+            entry
+            for entry_set in self._sets
+            for bucket in entry_set.values()
+            for entry in bucket.values()
+        ]

@@ -1,0 +1,169 @@
+"""The set-associative Reuse Trace Memory.
+
+Organisation follows section 4.6: the memory is indexed by the
+least-significant bits of the PC; each set holds a bounded number of
+distinct starting PCs (the associativity) and each PC holds a bounded
+number of alternative traces (``traces_per_pc`` — "4/8/16 entries per
+initial PC" in the paper's configurations).  Replacement is LRU at
+both levels: reusing a trace refreshes it, and "the older trace with
+the same PC ... is the one that is being replaced when a new trace is
+collected".
+
+The paper's four configurations::
+
+    512 entries:  4-way  (5-bit index, 32 sets),  4 traces per PC
+    4K entries:   4-way  (7-bit index, 128 sets), 8 traces per PC
+    32K entries:  8-way  (8-bit index, 256 sets), 16 traces per PC
+    256K entries: 8-way (11-bit index, 2048 sets), 16 traces per PC
+
+(in every case ``sets * ways * traces_per_pc`` equals the entry count).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.rtm.entry import RTMEntry
+from repro.util.rng import mix64
+
+
+@dataclass(frozen=True, slots=True)
+class RTMConfig:
+    """Geometry of a Reuse Trace Memory."""
+
+    name: str
+    num_sets: int
+    ways: int
+    traces_per_pc: int
+
+    @property
+    def total_entries(self) -> int:
+        """Total trace capacity."""
+        return self.num_sets * self.ways * self.traces_per_pc
+
+
+#: The paper's four RTM configurations (section 4.6).
+RTM_PRESETS: dict[str, RTMConfig] = {
+    "512": RTMConfig("512", num_sets=32, ways=4, traces_per_pc=4),
+    "4K": RTMConfig("4K", num_sets=128, ways=4, traces_per_pc=8),
+    "32K": RTMConfig("32K", num_sets=256, ways=8, traces_per_pc=16),
+    "256K": RTMConfig("256K", num_sets=2048, ways=8, traces_per_pc=16),
+}
+
+
+def pc_index(pc: int) -> int:
+    """Default index scheme: the PC's least-significant bits."""
+    return pc
+
+
+def hashed_index(pc: int) -> int:
+    """Alternative index scheme (section 3.1): a hash of the PC,
+    spreading hot loop bodies across sets."""
+    return mix64(pc)
+
+
+class ReuseTraceMemory:
+    """Finite trace storage with two-level LRU replacement.
+
+    ``index_fn`` maps a PC to a value whose residue modulo the set
+    count selects the set — section 3.1 notes the RTM "can be indexed
+    by different schemes"; :func:`pc_index` and :func:`hashed_index`
+    are provided, and the ablation benchmark compares them.
+    """
+
+    #: this scheme verifies input values at lookup; it does not need
+    #: to observe architectural writes
+    needs_write_events = False
+
+    def __init__(self, config: RTMConfig, *, index_fn: Callable[[int], int] = pc_index):
+        if config.num_sets <= 0 or config.ways <= 0 or config.traces_per_pc <= 0:
+            raise ValueError("RTM geometry values must be positive")
+        self.config = config
+        self._index_fn = index_fn
+        # set index -> (pc -> (identity -> RTMEntry)); both inner maps
+        # are LRU-ordered (least-recent first)
+        self._sets: list[OrderedDict[int, OrderedDict[tuple, RTMEntry]]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.lookups = 0
+        self.hits = 0
+        self.insertions = 0
+        self.trace_evictions = 0
+        self.pc_evictions = 0
+
+    def _set_for(self, pc: int) -> OrderedDict:
+        return self._sets[self._index_fn(pc) % self.config.num_sets]
+
+    def lookup(self, pc: int, current: dict[int, int | float]) -> RTMEntry | None:
+        """The reuse test at a fetch: the longest matching trace wins.
+
+        Among stored traces starting at ``pc`` whose live-in values all
+        match the current architectural state, return the longest (a
+        single reuse operation should skip as many instructions as
+        possible — section 4.4); ties go to the most recently used.
+        A hit refreshes LRU state at both levels.
+        """
+        self.lookups += 1
+        entry_set = self._set_for(pc)
+        bucket = entry_set.get(pc)
+        if bucket is None:
+            return None
+        best: RTMEntry | None = None
+        for entry in reversed(bucket.values()):  # MRU first
+            if entry.matches(current) and (best is None or entry.length > best.length):
+                best = entry
+        if best is None:
+            return None
+        self.hits += 1
+        bucket.move_to_end(best.identity())
+        entry_set.move_to_end(pc)
+        return best
+
+    def insert(self, entry: RTMEntry) -> None:
+        """Store a collected trace, evicting LRU victims when full.
+
+        An entry identical to a stored one (same PC, length and input
+        values) only refreshes the stored entry's LRU position.
+        """
+        entry_set = self._set_for(entry.start_pc)
+        bucket = entry_set.get(entry.start_pc)
+        if bucket is None:
+            if len(entry_set) >= self.config.ways:
+                entry_set.popitem(last=False)
+                self.pc_evictions += 1
+            bucket = OrderedDict()
+            entry_set[entry.start_pc] = bucket
+        key = entry.identity()
+        if key in bucket:
+            bucket[key] = entry
+            bucket.move_to_end(key)
+            entry_set.move_to_end(entry.start_pc)
+            return
+        if len(bucket) >= self.config.traces_per_pc:
+            bucket.popitem(last=False)
+            self.trace_evictions += 1
+        bucket[key] = entry
+        entry_set.move_to_end(entry.start_pc)
+        self.insertions += 1
+
+    @property
+    def occupancy(self) -> int:
+        """Number of traces currently stored."""
+        return sum(
+            len(bucket) for entry_set in self._sets for bucket in entry_set.values()
+        )
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0 when never probed)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stored_entries(self) -> list[RTMEntry]:
+        """All stored traces (for inspection and tests)."""
+        return [
+            entry
+            for entry_set in self._sets
+            for bucket in entry_set.values()
+            for entry in bucket.values()
+        ]

@@ -1,0 +1,61 @@
+"""Per-trace input/output statistics (section 4.5's bandwidth study).
+
+The paper reports, averaged over all reused traces: 6.5 input values
+(2.7 register + 3.8 memory), 5.0 output values (3.3 register + 1.7
+memory) and 15.0 instructions per trace, i.e. 0.43 reads and 0.33
+writes per reused instruction — far below the bandwidth an actual
+execution of those instructions would need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.traces import TraceSpan
+
+
+@dataclass(frozen=True, slots=True)
+class TraceIOStats:
+    """Aggregate I/O statistics over a set of trace spans."""
+
+    trace_count: int
+    total_instructions: int
+    avg_trace_size: float
+    avg_inputs: float
+    avg_reg_inputs: float
+    avg_mem_inputs: float
+    avg_outputs: float
+    avg_reg_outputs: float
+    avg_mem_outputs: float
+    #: live-in values read per reused instruction (paper: 0.43)
+    reads_per_instruction: float
+    #: live-out values written per reused instruction (paper: 0.33)
+    writes_per_instruction: float
+
+
+def trace_io_stats(spans: Sequence[TraceSpan]) -> TraceIOStats:
+    """Compute :class:`TraceIOStats` over the given spans."""
+    n = len(spans)
+    if n == 0:
+        return TraceIOStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    total_instr = sum(s.length for s in spans)
+    total_in = sum(s.input_count for s in spans)
+    total_reg_in = sum(s.reg_input_count for s in spans)
+    total_mem_in = sum(s.mem_input_count for s in spans)
+    total_out = sum(s.output_count for s in spans)
+    total_reg_out = sum(s.reg_output_count for s in spans)
+    total_mem_out = sum(s.mem_output_count for s in spans)
+    return TraceIOStats(
+        trace_count=n,
+        total_instructions=total_instr,
+        avg_trace_size=total_instr / n,
+        avg_inputs=total_in / n,
+        avg_reg_inputs=total_reg_in / n,
+        avg_mem_inputs=total_mem_in / n,
+        avg_outputs=total_out / n,
+        avg_reg_outputs=total_reg_out / n,
+        avg_mem_outputs=total_mem_out / n,
+        reads_per_instruction=total_in / total_instr if total_instr else 0.0,
+        writes_per_instruction=total_out / total_instr if total_instr else 0.0,
+    )

@@ -1,0 +1,16 @@
+"""Dataflow timing model (Austin & Sohi dynamic dependence analysis).
+
+Computes the execution time of a dynamic instruction stream limited
+only by true data dependences (through registers *and* memory) plus an
+optional finite instruction window, exactly as section 4 of the paper
+describes.  Reuse techniques plug in as *reuse plans* that override
+the completion-time rule for selected instructions.
+"""
+
+from repro.dataflow.model import (
+    DataflowModel,
+    ReusePoint,
+    TimingResult,
+)
+
+__all__ = ["DataflowModel", "ReusePoint", "TimingResult"]

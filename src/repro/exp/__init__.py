@@ -1,0 +1,38 @@
+"""Experiment drivers: one function per paper figure.
+
+``run_profile`` computes everything figures 3-8 need for one
+benchmark; ``figures`` assembles the per-figure tables; ``report``
+renders them the way the paper reports them (per-program rows plus
+AVG_FP / AVG_INT / AVERAGE, harmonic means for speed-ups, arithmetic
+means for percentages).
+"""
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.figures import (
+    FigureResult,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    trace_io_summary,
+)
+from repro.exp.runner import BenchmarkProfile, collect_profiles, run_profile
+
+__all__ = [
+    "ExperimentConfig",
+    "BenchmarkProfile",
+    "run_profile",
+    "collect_profiles",
+    "FigureResult",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "trace_io_summary",
+]

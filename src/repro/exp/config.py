@@ -1,0 +1,37 @@
+"""Experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.base import FP_SUITE, INT_SUITE
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Knobs shared by all figure drivers.
+
+    The paper ran 50M instructions per program on an Alpha; the
+    pure-Python substrate defaults to 60k, which is past the point
+    where the reuse statistics of these loop-dominated kernels
+    stabilise.  Crank ``max_instructions`` up for higher-fidelity runs.
+    """
+
+    max_instructions: int = 60_000
+    scale: int = 1
+    window_size: int = 256
+    #: constant reuse latencies swept in figures 4b/5b/8a
+    reuse_latencies: tuple[int, ...] = (1, 2, 3, 4)
+    #: proportionality constants swept in figure 8b (1/bandwidth)
+    proportional_ks: tuple[float, ...] = (1 / 32, 1 / 16, 1 / 8, 1 / 4, 1 / 2, 1.0)
+    workloads: tuple[str, ...] = tuple(FP_SUITE + INT_SUITE)
+    #: worker processes for the benchmark fan-out (None = one per core)
+    max_workers: int | None = None
+
+    def fp_names(self) -> list[str]:
+        """Configured workloads that belong to the FP suite."""
+        return [n for n in self.workloads if n in FP_SUITE]
+
+    def int_names(self) -> list[str]:
+        """Configured workloads that belong to the INT suite."""
+        return [n for n in self.workloads if n in INT_SUITE]

@@ -1,0 +1,187 @@
+"""The paper's published numbers, encoded as data, plus shape checks.
+
+``PAPER`` records the values reported in the text and (approximately)
+readable off the figures of González, Tubella & Molina (ICPP 1999).
+``shape_report`` compares a set of measured profiles against the
+qualitative claims the reproduction targets, producing a ✓/✗ table —
+the same checks the benchmark harness asserts, gathered in one place
+for EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exp.figures import FigureResult, figure3, figure4, figure5, figure6, figure7
+from repro.exp.runner import BenchmarkProfile
+from repro.util.means import harmonic_mean
+
+#: Headline numbers from the paper (section 4 text and figures).
+PAPER = {
+    "fig3_avg_reusability": 88.0,
+    "fig3_min_program": "applu",
+    "fig3_min_value": 53.0,
+    "fig3_max_program": "hydro2d",
+    "fig3_max_value": 99.0,
+    "fig4_avg_speedup": 1.50,
+    "fig4_best_program": "turb3d",
+    "fig4_best_value": 4.00,
+    "fig5_avg_speedup": 1.43,
+    "fig6_avg_inf": 3.03,
+    "fig6_avg_w256": 3.63,
+    "fig6_best_inf_program": "ijpeg",
+    "fig6_best_inf_value": 11.57,
+    "fig7_max_program": "hydro2d",
+    "fig7_max_value": 203.0,
+    "fig8_k16_speedup": 2.7,
+    "sec45_inputs_per_trace": 6.5,
+    "sec45_outputs_per_trace": 5.0,
+    "sec45_instr_per_trace": 15.0,
+    "sec45_reads_per_instr": 0.43,
+    "sec45_writes_per_instr": 0.33,
+    "fig9_4k_reuse_pct": 25.0,
+    "fig9_256k_reuse_pct": 60.0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeCheck:
+    """One qualitative claim and whether the measurement reproduces it."""
+
+    claim: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+
+
+def _programs(fig: FigureResult) -> dict[str, float]:
+    return {
+        str(row[0]): float(row[1])
+        for row in fig.rows
+        if not str(row[0]).startswith(("AVG", "AVERAGE"))
+    }
+
+
+def shape_checks(profiles: Sequence[BenchmarkProfile]) -> list[ShapeCheck]:
+    """Evaluate every targeted qualitative claim against ``profiles``."""
+    checks: list[ShapeCheck] = []
+    fig3 = figure3(profiles)
+    fig4 = figure4(profiles)
+    fig5 = figure5(profiles)
+    fig6 = figure6(profiles)
+    fig7 = figure7(profiles)
+
+    rates = _programs(fig3)
+    avg3 = float(fig3.value("AVERAGE", "reusable_pct"))
+    checks.append(
+        ShapeCheck(
+            "reusability is high on average (fig 3)",
+            f"{PAPER['fig3_avg_reusability']:.0f}%",
+            f"{avg3:.1f}%",
+            avg3 >= 60.0,
+        )
+    )
+    measured_min = min(rates, key=rates.get)
+    checks.append(
+        ShapeCheck(
+            "applu is the least reusable program (fig 3)",
+            PAPER["fig3_min_program"],
+            measured_min,
+            measured_min == PAPER["fig3_min_program"],
+        )
+    )
+
+    ilr = _programs(fig4)
+    avg4 = float(fig4.value("AVERAGE", "speedup"))
+    checks.append(
+        ShapeCheck(
+            "ILR speed-up is modest despite high reusability (fig 4)",
+            f"{PAPER['fig4_avg_speedup']:.2f}",
+            f"{avg4:.2f}",
+            1.0 <= avg4 <= 2.5,
+        )
+    )
+    top3_ilr = sorted(ilr, key=ilr.get, reverse=True)[:3]
+    checks.append(
+        ShapeCheck(
+            "turb3d is among the top ILR gainers (fig 4)",
+            PAPER["fig4_best_program"],
+            ", ".join(top3_ilr),
+            PAPER["fig4_best_program"] in top3_ilr,
+        )
+    )
+
+    tlr_inf = {
+        str(row[0]): float(row[1])
+        for row in fig6.rows
+        if not str(row[0]).startswith(("AVG", "AVERAGE"))
+    }
+    tlr_win = {
+        str(row[0]): float(row[2])
+        for row in fig6.rows
+        if not str(row[0]).startswith(("AVG", "AVERAGE"))
+    }
+    avg6_inf = harmonic_mean(list(tlr_inf.values()))
+    avg6_win = harmonic_mean(list(tlr_win.values()))
+    checks.append(
+        ShapeCheck(
+            "TLR beats ILR on average (figs 4 vs 6)",
+            f"{PAPER['fig6_avg_inf']:.2f} vs {PAPER['fig4_avg_speedup']:.2f}",
+            f"{avg6_inf:.2f} vs {avg4:.2f}",
+            avg6_inf >= avg4 - 1e-9,
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            "TLR gains more from a finite window than an infinite one (fig 6)",
+            f"{PAPER['fig6_avg_w256']:.2f} > {PAPER['fig6_avg_inf']:.2f}",
+            f"{avg6_win:.2f} vs {avg6_inf:.2f}",
+            avg6_win > avg6_inf,
+        )
+    )
+
+    avg5 = float(fig5.value("AVERAGE", "speedup"))
+    checks.append(
+        ShapeCheck(
+            "finite-window TLR beats finite-window ILR (figs 5 vs 6)",
+            f"{PAPER['fig6_avg_w256']:.2f} vs {PAPER['fig5_avg_speedup']:.2f}",
+            f"{avg6_win:.2f} vs {avg5:.2f}",
+            avg6_win >= avg5 - 1e-9,
+        )
+    )
+
+    sizes = _programs(fig7)
+    top2_sizes = sorted(sizes, key=sizes.get, reverse=True)[:2]
+    checks.append(
+        ShapeCheck(
+            "hydro2d is among the largest-trace programs (fig 7)",
+            PAPER["fig7_max_program"],
+            ", ".join(top2_sizes),
+            PAPER["fig7_max_program"] in top2_sizes,
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            "applu/fpppp have short traces (fig 7)",
+            "few instructions",
+            f"applu={sizes.get('applu', 0):.1f}, fpppp={sizes.get('fpppp', 0):.1f}",
+            sizes.get("applu", 99) < 15 and sizes.get("fpppp", 99) < 15,
+        )
+    )
+    return checks
+
+
+def shape_report(profiles: Sequence[BenchmarkProfile]) -> FigureResult:
+    """The shape checks as a renderable table."""
+    result = FigureResult(
+        figure_id="shape_report",
+        title="Qualitative shape checks vs the paper",
+        headers=["claim", "paper", "measured", "holds"],
+    )
+    for check in shape_checks(profiles):
+        result.rows.append(
+            [check.claim, check.paper_value, check.measured_value,
+             "yes" if check.holds else "NO"]
+        )
+    return result

@@ -1,0 +1,18 @@
+"""Rendering of figure results as text and markdown."""
+
+from __future__ import annotations
+
+from repro.exp.figures import FigureResult
+from repro.util.tables import format_markdown_table, format_table
+
+
+def render(result: FigureResult) -> str:
+    """Monospace table for terminal / bench output."""
+    return format_table(result.headers, result.rows, title=result.title)
+
+
+def render_markdown(result: FigureResult) -> str:
+    """Markdown table (EXPERIMENTS.md fodder) with the title as a heading."""
+    return f"### {result.title}\n\n" + format_markdown_table(
+        result.headers, result.rows
+    )

@@ -1,0 +1,111 @@
+"""Per-benchmark analysis pipeline and the parallel fan-out.
+
+``run_profile`` executes one kernel and derives every number figures
+3-8 and the section 4.5 statistics need.  ``collect_profiles`` fans
+the 14 kernels out over a process pool (each worker regenerates its
+own trace — cheaper than shipping multi-megabyte streams through
+pickles, per the owner-computes rule)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.ilr import ilr_reuse_plan, instruction_reusability
+from repro.core.reuse_tlr import (
+    ConstantReuseLatency,
+    ProportionalReuseLatency,
+    tlr_reuse_plan,
+)
+from repro.core.stats import TraceIOStats, trace_io_stats
+from repro.core.traces import average_span_length, maximal_reusable_spans
+from repro.dataflow.model import DataflowModel
+from repro.exp.config import ExperimentConfig
+from repro.util.parallel import parallel_map
+from repro.workloads.base import get_workload, run_workload
+
+
+@dataclass(slots=True)
+class BenchmarkProfile:
+    """Everything figures 3-8 need for one benchmark."""
+
+    name: str
+    suite: str
+    dynamic_count: int
+    percent_reusable: float
+    avg_trace_size: float
+    trace_count: int
+    base_ipc_inf: float
+    base_ipc_win: float
+    #: reuse latency (cycles) -> speed-up, infinite window
+    ilr_speedup_inf: dict[int, float] = field(default_factory=dict)
+    #: reuse latency (cycles) -> speed-up, finite window
+    ilr_speedup_win: dict[int, float] = field(default_factory=dict)
+    tlr_speedup_inf: dict[int, float] = field(default_factory=dict)
+    tlr_speedup_win: dict[int, float] = field(default_factory=dict)
+    #: proportionality constant K -> speed-up, finite window
+    tlr_speedup_win_prop: dict[float, float] = field(default_factory=dict)
+    io_stats: TraceIOStats | None = None
+
+
+def run_profile(name: str, config: ExperimentConfig = ExperimentConfig()) -> BenchmarkProfile:
+    """Run one kernel and analyse it under every figure-3..8 scenario."""
+    workload = get_workload(name)
+    trace = run_workload(
+        name, scale=config.scale, max_instructions=config.max_instructions
+    )
+    reuse = instruction_reusability(trace)
+    spans = maximal_reusable_spans(trace, reuse.flags)
+
+    infinite = DataflowModel(window_size=None)
+    windowed = DataflowModel(window_size=config.window_size)
+    base_inf = infinite.analyze(trace)
+    base_win = windowed.analyze(trace)
+
+    profile = BenchmarkProfile(
+        name=name,
+        suite=workload.suite,
+        dynamic_count=len(trace),
+        percent_reusable=reuse.percent_reusable,
+        avg_trace_size=average_span_length(spans),
+        trace_count=len(spans),
+        base_ipc_inf=base_inf.ipc,
+        base_ipc_win=base_win.ipc,
+        io_stats=trace_io_stats(spans),
+    )
+
+    for latency in config.reuse_latencies:
+        ilr_plan = ilr_reuse_plan(trace, reuse.flags, float(latency))
+        profile.ilr_speedup_inf[latency] = infinite.analyze(
+            trace, ilr_plan
+        ).speedup_over(base_inf)
+        profile.ilr_speedup_win[latency] = windowed.analyze(
+            trace, ilr_plan
+        ).speedup_over(base_win)
+        tlr_plan = tlr_reuse_plan(trace, spans, ConstantReuseLatency(float(latency)))
+        profile.tlr_speedup_inf[latency] = infinite.analyze(
+            trace, tlr_plan
+        ).speedup_over(base_inf)
+        profile.tlr_speedup_win[latency] = windowed.analyze(
+            trace, tlr_plan
+        ).speedup_over(base_win)
+
+    for k in config.proportional_ks:
+        plan = tlr_reuse_plan(trace, spans, ProportionalReuseLatency(k))
+        profile.tlr_speedup_win_prop[k] = windowed.analyze(trace, plan).speedup_over(
+            base_win
+        )
+
+    return profile
+
+
+def _profile_task(args: tuple[str, ExperimentConfig]) -> BenchmarkProfile:
+    name, config = args
+    return run_profile(name, config)
+
+
+def collect_profiles(
+    config: ExperimentConfig = ExperimentConfig(),
+) -> list[BenchmarkProfile]:
+    """Profiles for every configured workload, fanned out over cores."""
+    tasks = [(name, config) for name in config.workloads]
+    return parallel_map(_profile_task, tasks, max_workers=config.max_workers)

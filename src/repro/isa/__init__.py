@@ -1,0 +1,58 @@
+"""Instruction-set definition for the reproduction substrate.
+
+The paper analysed Alpha 21164 binaries; this package defines a
+RISC-like load/store ISA with the same structural properties (32
+integer + 32 floating-point registers, register+offset addressing,
+compare-into-register branches) and a latency table modelled on the
+21164 hardware reference manual.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    LATENCY,
+    OpClass,
+    Opcode,
+    latency_of,
+    op_class,
+)
+from repro.isa.registers import (
+    FP_REG_BASE,
+    MEM_LOC_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_ALIASES,
+    loc_freg,
+    loc_is_freg,
+    loc_is_int_reg,
+    loc_is_mem,
+    loc_is_reg,
+    loc_mem,
+    loc_mem_addr,
+    loc_name,
+    loc_reg,
+    parse_register,
+)
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "OpClass",
+    "LATENCY",
+    "latency_of",
+    "op_class",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "FP_REG_BASE",
+    "MEM_LOC_BASE",
+    "REG_ALIASES",
+    "loc_reg",
+    "loc_freg",
+    "loc_mem",
+    "loc_mem_addr",
+    "loc_name",
+    "loc_is_reg",
+    "loc_is_int_reg",
+    "loc_is_freg",
+    "loc_is_mem",
+    "parse_register",
+]

@@ -1,0 +1,50 @@
+"""The static instruction record produced by the assembler.
+
+Instructions are fully decoded at assembly time so the VM's hot loop
+never parses anything: the operand fields below are plain integers
+(or a float immediate for ``FLI``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode, latency_of
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded static instruction.
+
+    Field usage depends on the opcode:
+
+    - ALU reg-reg: ``rd, rs1, rs2``
+    - ALU immediate: ``rd, rs1, imm``
+    - ``LI rd, imm`` / ``FLI fd, imm``
+    - loads: ``rd, imm(rs1)``; stores: ``rs2, imm(rs1)``
+    - branches: ``rs1, rs2, imm`` (imm = resolved target pc)
+    - ``J imm`` / ``JAL rd, imm`` / ``JR rs1``
+
+    Unused fields are 0 and never read by the VM for that opcode.
+    ``line`` is the 1-based source line for diagnostics.
+    """
+
+    op: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int | float = 0
+    #: source line (diagnostics only; excluded from equality so that
+    #: re-assembled programs compare equal to their originals)
+    line: int = field(default=0, compare=False)
+
+    @property
+    def latency(self) -> int:
+        """Result latency in cycles."""
+        return latency_of(self.op)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.op.name.lower()} rd={self.rd} rs1={self.rs1} "
+            f"rs2={self.rs2} imm={self.imm}"
+        )

@@ -1,0 +1,163 @@
+"""Opcode set, operation classes and the instruction latency table.
+
+Latencies follow the Alpha 21164 hardware reference manual, which is
+the latency model the paper borrows (section 4): single-cycle integer
+ALU, 8-cycle integer multiply, 2-cycle D-cache load hit, 4-cycle
+floating add/multiply pipeline, long non-pipelined divides and square
+roots.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum, auto
+
+
+class OpClass(Enum):
+    """Coarse functional classes used by analyses and statistics."""
+
+    INT_ALU = auto()
+    INT_MUL = auto()
+    INT_DIV = auto()
+    LOAD = auto()
+    STORE = auto()
+    BRANCH = auto()
+    JUMP = auto()
+    FP_ADD = auto()
+    FP_MUL = auto()
+    FP_DIV = auto()
+    FP_SQRT = auto()
+    FP_CVT = auto()
+    CONTROL = auto()  # HALT / NOP
+
+
+class Opcode(IntEnum):
+    """Every operation the VM executes.
+
+    Register-register integer ops take ``rd, rs1, rs2``; immediate
+    forms take ``rd, rs1, imm``.  Memory ops use ``reg, imm(base)``
+    addressing.  Branches compare two registers against a label.
+    """
+
+    # --- integer ALU -------------------------------------------------
+    ADD = auto()
+    SUB = auto()
+    AND = auto()
+    OR = auto()
+    XOR = auto()
+    SLL = auto()
+    SRL = auto()
+    SRA = auto()
+    SLT = auto()
+    SEQ = auto()
+    ADDI = auto()
+    ANDI = auto()
+    ORI = auto()
+    XORI = auto()
+    SLLI = auto()
+    SRLI = auto()
+    SRAI = auto()
+    SLTI = auto()
+    LI = auto()
+    MOV = auto()
+    # --- integer multiply / divide ----------------------------------
+    MUL = auto()
+    MULI = auto()
+    DIV = auto()
+    REM = auto()
+    # --- memory ------------------------------------------------------
+    LW = auto()
+    SW = auto()
+    FLW = auto()
+    FSW = auto()
+    # --- control flow -------------------------------------------------
+    BEQ = auto()
+    BNE = auto()
+    BLT = auto()
+    BGE = auto()
+    BLE = auto()
+    BGT = auto()
+    J = auto()
+    JAL = auto()
+    JR = auto()
+    # --- floating point ----------------------------------------------
+    FADD = auto()
+    FSUB = auto()
+    FMUL = auto()
+    FDIV = auto()
+    FSQRT = auto()
+    FNEG = auto()
+    FABS = auto()
+    FMOV = auto()
+    FLI = auto()
+    CVTIF = auto()  # int reg -> fp reg
+    CVTFI = auto()  # fp reg -> int reg (truncate)
+    FEQ = auto()  # fp compare, result into int reg
+    FLT = auto()
+    FLE = auto()
+    # --- misc ----------------------------------------------------------
+    NOP = auto()
+    HALT = auto()
+
+
+_OP_CLASS: dict[Opcode, OpClass] = {}
+for _op in (
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.SLT, Opcode.SEQ,
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
+    Opcode.SRLI, Opcode.SRAI, Opcode.SLTI, Opcode.LI, Opcode.MOV,
+):
+    _OP_CLASS[_op] = OpClass.INT_ALU
+_OP_CLASS[Opcode.MUL] = OpClass.INT_MUL
+_OP_CLASS[Opcode.MULI] = OpClass.INT_MUL
+_OP_CLASS[Opcode.DIV] = OpClass.INT_DIV
+_OP_CLASS[Opcode.REM] = OpClass.INT_DIV
+_OP_CLASS[Opcode.LW] = OpClass.LOAD
+_OP_CLASS[Opcode.FLW] = OpClass.LOAD
+_OP_CLASS[Opcode.SW] = OpClass.STORE
+_OP_CLASS[Opcode.FSW] = OpClass.STORE
+for _op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT):
+    _OP_CLASS[_op] = OpClass.BRANCH
+for _op in (Opcode.J, Opcode.JAL, Opcode.JR):
+    _OP_CLASS[_op] = OpClass.JUMP
+for _op in (Opcode.FADD, Opcode.FSUB, Opcode.FNEG, Opcode.FABS, Opcode.FMOV,
+            Opcode.FLI, Opcode.FEQ, Opcode.FLT, Opcode.FLE):
+    _OP_CLASS[_op] = OpClass.FP_ADD
+_OP_CLASS[Opcode.FMUL] = OpClass.FP_MUL
+_OP_CLASS[Opcode.FDIV] = OpClass.FP_DIV
+_OP_CLASS[Opcode.FSQRT] = OpClass.FP_SQRT
+_OP_CLASS[Opcode.CVTIF] = OpClass.FP_CVT
+_OP_CLASS[Opcode.CVTFI] = OpClass.FP_CVT
+_OP_CLASS[Opcode.NOP] = OpClass.CONTROL
+_OP_CLASS[Opcode.HALT] = OpClass.CONTROL
+
+
+#: Cycles from issue to result availability, per operation class,
+#: following the Alpha 21164 hardware reference manual.
+CLASS_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 8,
+    OpClass.INT_DIV: 16,
+    OpClass.LOAD: 2,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.FP_ADD: 4,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 18,
+    OpClass.FP_SQRT: 33,
+    OpClass.FP_CVT: 4,
+    OpClass.CONTROL: 1,
+}
+
+#: Per-opcode latency, flattened for fast lookup in the VM hot loop.
+LATENCY: dict[Opcode, int] = {op: CLASS_LATENCY[_OP_CLASS[op]] for op in Opcode}
+
+
+def op_class(op: Opcode) -> OpClass:
+    """The functional class of an opcode."""
+    return _OP_CLASS[op]
+
+
+def latency_of(op: Opcode) -> int:
+    """Result latency in cycles of an opcode."""
+    return LATENCY[op]

@@ -1,0 +1,132 @@
+"""Register conventions and the flat *location* encoding.
+
+Analyses track data dependences through registers **and** memory
+words uniformly (the paper's dataflow model keeps a completion-time
+entry per logical register and per memory location).  To keep those
+tables plain ``dict[int, ...]`` we encode every storage location as a
+single non-negative integer:
+
+====================  =======================
+location              encoded id
+====================  =======================
+integer register i    ``i``              (0..31)
+fp register i         ``32 + i``         (32..63)
+memory word at a      ``64 + a``         (64..)
+====================  =======================
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+FP_REG_BASE = NUM_INT_REGS
+MEM_LOC_BASE = NUM_INT_REGS + NUM_FP_REGS
+
+#: MIPS-flavoured aliases accepted by the assembler.  ``r0`` is a
+#: hardwired zero register; ``sp`` starts at the top of the address
+#: space; ``ra`` receives return addresses from ``jal``.
+REG_ALIASES: dict[str, int] = {
+    "zero": 0,
+    "at": 1,
+    "v0": 2,
+    "v1": 3,
+    "a0": 4,
+    "a1": 5,
+    "a2": 6,
+    "a3": 7,
+    "t0": 8,
+    "t1": 9,
+    "t2": 10,
+    "t3": 11,
+    "t4": 12,
+    "t5": 13,
+    "t6": 14,
+    "t7": 15,
+    "s0": 16,
+    "s1": 17,
+    "s2": 18,
+    "s3": 19,
+    "s4": 20,
+    "s5": 21,
+    "s6": 22,
+    "s7": 23,
+    "t8": 24,
+    "t9": 25,
+    "k0": 26,
+    "k1": 27,
+    "gp": 28,
+    "sp": 29,
+    "fp": 30,
+    "ra": 31,
+}
+
+
+def loc_reg(i: int) -> int:
+    """Location id of integer register ``i``."""
+    return i
+
+
+def loc_freg(i: int) -> int:
+    """Location id of floating-point register ``i``."""
+    return FP_REG_BASE + i
+
+
+def loc_mem(addr: int) -> int:
+    """Location id of the memory word at ``addr`` (word-addressed)."""
+    return MEM_LOC_BASE + addr
+
+
+def loc_is_mem(loc: int) -> bool:
+    """True if the location id denotes a memory word."""
+    return loc >= MEM_LOC_BASE
+
+
+def loc_is_reg(loc: int) -> bool:
+    """True if the location id denotes any register."""
+    return loc < MEM_LOC_BASE
+
+
+def loc_is_int_reg(loc: int) -> bool:
+    """True if the location id denotes an integer register."""
+    return loc < FP_REG_BASE
+
+
+def loc_is_freg(loc: int) -> bool:
+    """True if the location id denotes a floating-point register."""
+    return FP_REG_BASE <= loc < MEM_LOC_BASE
+
+
+def loc_mem_addr(loc: int) -> int:
+    """Recover the word address from a memory location id."""
+    if not loc_is_mem(loc):
+        raise ValueError(f"location {loc} is not a memory location")
+    return loc - MEM_LOC_BASE
+
+
+def loc_name(loc: int) -> str:
+    """Human-readable name of a location id (for diagnostics)."""
+    if loc < 0:
+        raise ValueError(f"invalid location id {loc}")
+    if loc < FP_REG_BASE:
+        return f"r{loc}"
+    if loc < MEM_LOC_BASE:
+        return f"f{loc - FP_REG_BASE}"
+    return f"mem[{loc - MEM_LOC_BASE:#x}]"
+
+
+def parse_register(token: str) -> tuple[bool, int]:
+    """Parse a register token into ``(is_fp, index)``.
+
+    Accepts ``rN``/``fN`` numeric names, ``$``-prefixed variants and
+    the MIPS-style aliases in :data:`REG_ALIASES`.
+    """
+    tok = token.strip().lower().lstrip("$")
+    if tok in REG_ALIASES:
+        return False, REG_ALIASES[tok]
+    if len(tok) >= 2 and tok[0] in ("r", "f") and tok[1:].isdigit():
+        idx = int(tok[1:])
+        limit = NUM_FP_REGS if tok[0] == "f" else NUM_INT_REGS
+        if idx >= limit:
+            raise ValueError(f"register index out of range: {token!r}")
+        return tok[0] == "f", idx
+    raise ValueError(f"not a register: {token!r}")

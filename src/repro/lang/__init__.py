@@ -1,0 +1,41 @@
+"""RL — a small imperative language for authoring workloads.
+
+Writing benchmark kernels directly in assembly is exacting; RL is a
+tiny integer language (variables, global arrays, ``if``/``while``,
+functions) that compiles to the reproduction ISA, so users can author
+custom workloads for the reuse analyses in a few readable lines:
+
+.. code-block:: text
+
+    var table[64]
+
+    func fill(n) {
+        var i = 0
+        while (i < n) {
+            table[i] = i * i
+            i = i + 1
+        }
+        return 0
+    }
+
+    func main() {
+        var pass = 0
+        while (pass < 100) {
+            fill(64)
+            pass = pass + 1
+        }
+        return 0
+    }
+
+Use :func:`compile_source` for a ready-to-run
+:class:`~repro.vm.program.Program`, or :func:`compile_to_assembly` to
+inspect the generated assembly.
+"""
+
+from repro.lang.compiler import (
+    CompileError,
+    compile_source,
+    compile_to_assembly,
+)
+
+__all__ = ["compile_source", "compile_to_assembly", "CompileError"]

@@ -1,0 +1,111 @@
+"""Abstract syntax of the RL language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Expr:
+    """Base class for expressions (all nodes carry a source line)."""
+
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class IndexRef(Expr):
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Unary(Expr):
+    op: str  # "-" or "!"
+    operand: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Stmt:
+    """Base class for statements."""
+
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl(Stmt):
+    name: str
+    initial: Expr | None
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Stmt):
+    target: VarRef | IndexRef
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class If(Stmt):
+    condition: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class While(Stmt):
+    condition: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalVar:
+    name: str
+    size: int  # 1 for scalars
+    initial: tuple[int, ...]  # initial words (padded with zeros)
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class Function:
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class Module:
+    globals: tuple[GlobalVar, ...] = field(default=())
+    functions: tuple[Function, ...] = field(default=())

@@ -1,0 +1,371 @@
+"""Code generation: RL modules to reproduction-ISA assembly.
+
+Conventions:
+
+- globals live in the data segment; locals live in a stack frame
+  addressed through the frame pointer (``fp``);
+- expressions evaluate on a small register stack (``t0``-``t7``);
+  deeper nesting is a compile error rather than a silent spill;
+- arguments pass in ``a0``-``a3``, results return in ``v0``;
+- ``>>`` is an arithmetic shift; division truncates toward zero
+  (the ISA's DIV/REM semantics).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    Function,
+    GlobalVar,
+    If,
+    IndexRef,
+    IntLiteral,
+    Module,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError, parse
+from repro.vm.assembler import assemble
+from repro.vm.program import Program
+
+__all__ = [
+    "CompileError",
+    "compile_module",
+    "compile_source",
+    "compile_to_assembly",
+]
+
+_MAX_DEPTH = 8  # expression register stack: t0..t7
+
+
+class CompileError(ValueError):
+    """Semantic error with a source line."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_BINARY_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra",
+}
+
+
+class _FunctionCompiler:
+    def __init__(self, module_compiler: "_ModuleCompiler", function: Function):
+        self.mc = module_compiler
+        self.function = function
+        self.lines: list[str] = []
+        self.slots: dict[str, int] = {}
+        self._collect_locals()
+
+    # -- frame layout ---------------------------------------------------
+    def _declare(self, name: str, line: int) -> int:
+        if name in self.slots:
+            raise CompileError(f"duplicate local {name!r}", line)
+        if name in self.mc.global_sizes:
+            raise CompileError(f"local {name!r} shadows a global", line)
+        slot = len(self.slots)
+        self.slots[name] = slot
+        return slot
+
+    def _collect_locals(self) -> None:
+        for param in self.function.params:
+            self._declare(param, self.function.line)
+
+        def walk(statements):
+            for stmt in statements:
+                if isinstance(stmt, VarDecl):
+                    self._declare(stmt.name, stmt.line)
+                elif isinstance(stmt, If):
+                    walk(stmt.then_body)
+                    walk(stmt.else_body)
+                elif isinstance(stmt, While):
+                    walk(stmt.body)
+
+        walk(self.function.body)
+
+    def _slot_offset(self, slot: int) -> int:
+        return -(slot + 1)
+
+    # -- emission helpers -------------------------------------------------
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def _reg(self, depth: int, line: int) -> str:
+        if depth >= _MAX_DEPTH:
+            raise CompileError(
+                f"expression too deep (more than {_MAX_DEPTH} live values); "
+                "split it across statements",
+                line,
+            )
+        return f"t{depth}"
+
+    # -- expressions ------------------------------------------------------
+    def expr(self, node: Expr, depth: int) -> str:
+        """Evaluate ``node`` into the register for ``depth``; returns it."""
+        reg = self._reg(depth, node.line)
+        if isinstance(node, IntLiteral):
+            self.emit(f"li   {reg}, {node.value}")
+            return reg
+        if isinstance(node, VarRef):
+            if node.name in self.slots:
+                offset = self._slot_offset(self.slots[node.name])
+                self.emit(f"lw   {reg}, {offset}(fp)")
+            elif node.name in self.mc.global_sizes:
+                if self.mc.global_sizes[node.name] != 1:
+                    raise CompileError(
+                        f"array {node.name!r} needs an index", node.line
+                    )
+                self.emit(f"la   {reg}, g_{node.name}")
+                self.emit(f"lw   {reg}, 0({reg})")
+            else:
+                raise CompileError(f"undefined variable {node.name!r}", node.line)
+            return reg
+        if isinstance(node, IndexRef):
+            self._array_address(node, depth)
+            self.emit(f"lw   {reg}, 0({reg})")
+            return reg
+        if isinstance(node, Unary):
+            self.expr(node.operand, depth)
+            if node.op == "-":
+                self.emit(f"sub  {reg}, r0, {reg}")
+            else:  # "!"
+                self.emit(f"seq  {reg}, {reg}, r0")
+            return reg
+        if isinstance(node, Binary):
+            return self._binary(node, depth)
+        if isinstance(node, Call):
+            return self._call(node, depth)
+        raise CompileError(f"unsupported expression {type(node).__name__}", node.line)
+
+    def _array_address(self, node: IndexRef, depth: int) -> str:
+        """Leave the element address in the depth register."""
+        reg = self._reg(depth, node.line)
+        if node.name in self.slots:
+            raise CompileError(f"{node.name!r} is a scalar local", node.line)
+        if node.name not in self.mc.global_sizes:
+            raise CompileError(f"undefined array {node.name!r}", node.line)
+        self.expr(node.index, depth)
+        scratch = self._reg(depth + 1, node.line)
+        self.emit(f"la   {scratch}, g_{node.name}")
+        self.emit(f"add  {reg}, {reg}, {scratch}")
+        return reg
+
+    def _binary(self, node: Binary, depth: int) -> str:
+        reg = self._reg(depth, node.line)
+        self.expr(node.left, depth)
+        rhs = self.expr(node.right, depth + 1)
+        op = node.op
+        if op in _BINARY_OPS:
+            self.emit(f"{_BINARY_OPS[op]:4s} {reg}, {reg}, {rhs}")
+        elif op == "<":
+            self.emit(f"slt  {reg}, {reg}, {rhs}")
+        elif op == ">":
+            self.emit(f"slt  {reg}, {rhs}, {reg}")
+        elif op == "<=":
+            self.emit(f"slt  {reg}, {rhs}, {reg}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == ">=":
+            self.emit(f"slt  {reg}, {reg}, {rhs}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == "==":
+            self.emit(f"seq  {reg}, {reg}, {rhs}")
+        elif op == "!=":
+            self.emit(f"seq  {reg}, {reg}, {rhs}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        else:  # pragma: no cover - the parser only produces known ops
+            raise CompileError(f"unknown operator {op!r}", node.line)
+        return reg
+
+    def _call(self, node: Call, depth: int) -> str:
+        if node.name not in self.mc.function_params:
+            raise CompileError(f"undefined function {node.name!r}", node.line)
+        expected = self.mc.function_params[node.name]
+        if len(node.args) != expected:
+            raise CompileError(
+                f"{node.name!r} takes {expected} argument(s), "
+                f"got {len(node.args)}",
+                node.line,
+            )
+        reg = self._reg(depth, node.line)
+        for i, arg in enumerate(node.args):
+            self.expr(arg, depth + i)
+        # preserve the caller's live expression registers
+        for i in range(depth):
+            self.emit(f"push t{i}")
+        for i in range(len(node.args)):
+            self.emit(f"mov  a{i}, t{depth + i}")
+        self.emit(f"call fn_{node.name}")
+        for i in reversed(range(depth)):
+            self.emit(f"pop  t{i}")
+        self.emit(f"mov  {reg}, v0")
+        return reg
+
+    # -- statements -------------------------------------------------------
+    def stmt(self, node: Stmt) -> None:
+        if isinstance(node, VarDecl):
+            if node.initial is not None:
+                reg = self.expr(node.initial, 0)
+                offset = self._slot_offset(self.slots[node.name])
+                self.emit(f"sw   {reg}, {offset}(fp)")
+            return
+        if isinstance(node, Assign):
+            target = node.target
+            if isinstance(target, VarRef):
+                reg = self.expr(node.value, 0)
+                if target.name in self.slots:
+                    offset = self._slot_offset(self.slots[target.name])
+                    self.emit(f"sw   {reg}, {offset}(fp)")
+                elif target.name in self.mc.global_sizes:
+                    if self.mc.global_sizes[target.name] != 1:
+                        raise CompileError(
+                            f"array {target.name!r} needs an index", target.line
+                        )
+                    scratch = self._reg(1, target.line)
+                    self.emit(f"la   {scratch}, g_{target.name}")
+                    self.emit(f"sw   {reg}, 0({scratch})")
+                else:
+                    raise CompileError(
+                        f"undefined variable {target.name!r}", target.line
+                    )
+            else:  # IndexRef
+                value = self.expr(node.value, 0)
+                address = self._array_address(target, 1)
+                self.emit(f"sw   {value}, 0({address})")
+            return
+        if isinstance(node, If):
+            label = self.mc.fresh_label()
+            cond = self.expr(node.condition, 0)
+            if node.else_body:
+                self.emit(f"beqz {cond}, {label}_else")
+            else:
+                self.emit(f"beqz {cond}, {label}_end")
+            for inner in node.then_body:
+                self.stmt(inner)
+            if node.else_body:
+                self.emit(f"j    {label}_end")
+                self.emit_label(f"{label}_else")
+                for inner in node.else_body:
+                    self.stmt(inner)
+            self.emit_label(f"{label}_end")
+            return
+        if isinstance(node, While):
+            label = self.mc.fresh_label()
+            self.emit_label(f"{label}_cond")
+            cond = self.expr(node.condition, 0)
+            self.emit(f"beqz {cond}, {label}_end")
+            for inner in node.body:
+                self.stmt(inner)
+            self.emit(f"j    {label}_cond")
+            self.emit_label(f"{label}_end")
+            return
+        if isinstance(node, Return):
+            if node.value is not None:
+                reg = self.expr(node.value, 0)
+                self.emit(f"mov  v0, {reg}")
+            else:
+                self.emit("li   v0, 0")
+            self.emit(f"j    fn_{self.function.name}__ret")
+            return
+        if isinstance(node, ExprStmt):
+            self.expr(node.expr, 0)
+            return
+        raise CompileError(  # pragma: no cover - parser covers all statements
+            f"unsupported statement {type(node).__name__}", node.line
+        )
+
+    # -- whole function -----------------------------------------------------
+    def compile(self) -> list[str]:
+        name = self.function.name
+        self.emit_label(f"fn_{name}")
+        self.emit("push ra")
+        self.emit("push fp")
+        self.emit("mov  fp, sp")
+        if self.slots:
+            self.emit(f"subi sp, sp, {len(self.slots)}")
+        for i, _param in enumerate(self.function.params):
+            self.emit(f"sw   a{i}, {self._slot_offset(i)}(fp)")
+        for stmt in self.function.body:
+            self.stmt(stmt)
+        self.emit("li   v0, 0")  # implicit return 0 at fall-off
+        self.emit_label(f"fn_{name}__ret")
+        self.emit("mov  sp, fp")
+        self.emit("pop  fp")
+        self.emit("pop  ra")
+        self.emit("ret")
+        return self.lines
+
+
+class _ModuleCompiler:
+    def __init__(self, module: Module):
+        self.module = module
+        self.global_sizes: dict[str, int] = {}
+        self.function_params: dict[str, int] = {}
+        self._label_counter = 0
+        for decl in module.globals:
+            if decl.name in self.global_sizes:
+                raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+            self.global_sizes[decl.name] = decl.size
+        for function in module.functions:
+            if function.name in self.function_params:
+                raise CompileError(
+                    f"duplicate function {function.name!r}", function.line
+                )
+            self.function_params[function.name] = len(function.params)
+        if "main" not in self.function_params:
+            raise CompileError("no 'main' function defined", 1)
+        if self.function_params["main"] != 0:
+            raise CompileError("'main' takes no arguments", 1)
+
+    def fresh_label(self) -> str:
+        self._label_counter += 1
+        return f"L{self._label_counter}"
+
+    def compile(self) -> str:
+        lines: list[str] = ["# generated by repro.lang", ".data"]
+        for decl in self.module.globals:
+            values = list(decl.initial) + [0] * (decl.size - len(decl.initial))
+            body = " ".join(str(v) for v in values)
+            lines.append(f"g_{decl.name}: .word {body}")
+        lines.append("")
+        lines.append(".text")
+        lines.append("main:")
+        lines.append("    call fn_main")
+        lines.append("    halt")
+        for function in self.module.functions:
+            lines.append("")
+            lines.extend(_FunctionCompiler(self, function).compile())
+        return "\n".join(lines) + "\n"
+
+
+def compile_module(module: Module, name: str = "<rl>") -> Program:
+    """Compile an already-parsed (or transformed) module."""
+    return assemble(_ModuleCompiler(module).compile(), name=name)
+
+
+def compile_to_assembly(source: str) -> str:
+    """Compile RL source text to assembly text."""
+    try:
+        module = parse(source)
+    except (ParseError, LexError):
+        raise
+    return _ModuleCompiler(module).compile()
+
+
+def compile_source(source: str, name: str = "<rl>") -> Program:
+    """Compile RL source text to a ready-to-run program."""
+    return assemble(compile_to_assembly(source), name=name)

@@ -1,0 +1,85 @@
+"""Tokeniser for the RL language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {"var", "func", "if", "else", "while", "return"}
+
+#: multi-character operators, longest first
+_OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class LexError(ValueError):
+    """Bad character or malformed literal."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # "int", "ident", "keyword", "op", "eof"
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split source text into tokens (comments start with ``#``)."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and (source[i].isdigit() or source[i].lower() in "abcdef"):
+                    i += 1
+                text = source[start:i]
+                if len(text) == 2:
+                    raise LexError("malformed hex literal", line)
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                text = source[start:i]
+                if i < n and (source[i].isalpha() or source[i] == "_"):
+                    raise LexError(f"malformed number {text + source[i]!r}", line)
+            tokens.append(Token("int", text, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,102 @@
+"""Software memoization: the paper's section-2 software reuse path.
+
+Data value reuse "can be implemented by software or hardware"; the
+software form is memoization — wrap a pure function with a result
+table.  :func:`memoize_functions` performs that transformation on an
+RL module mechanically:
+
+- the original function ``f`` is renamed ``f__orig``;
+- a wrapper named ``f`` is generated that hashes the argument into a
+  direct-mapped table, returns the cached result on a key match, and
+  otherwise computes, fills the table, and returns;
+- every call site (including recursive ones inside ``f`` itself) now
+  reaches the wrapper, so recursive computations collapse the way a
+  textbook memoized Fibonacci does.
+
+Only single-argument functions are supported (the table is keyed on
+one value, like Richardson's result cache for unary operations).  The
+transformation assumes the function is *pure*: callers are responsible
+for that judgement, exactly as with manual memoization.
+
+Comparing the reuse profile of a memoized binary against the hardware
+RTM on the unmemoized one quantifies the paper's software/hardware
+trade-off — see ``benchmarks/test_ablation_memoization.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.lang.ast_nodes import Function, Module
+from repro.lang.compiler import CompileError
+from repro.lang.parser import parse
+
+
+def _wrapper_source(name: str, table_size: int) -> str:
+    """RL source of the memo table and wrapper for one function."""
+    return f"""
+var memo_key_{name}[{table_size}]
+var memo_val_{name}[{table_size}]
+
+func {name}(x) {{
+    var h = (x * 2654435761) % {table_size}
+    if (h < 0) {{ h = 0 - h }}
+    if (memo_key_{name}[h] == x + 1) {{
+        return memo_val_{name}[h]
+    }}
+    var r = {name}__orig(x)
+    memo_key_{name}[h] = x + 1
+    memo_val_{name}[h] = r
+    return r
+}}
+"""
+
+
+def memoize_functions(
+    source: str,
+    names: Iterable[str],
+    *,
+    table_size: int = 64,
+) -> Module:
+    """Parse RL source and memoize the named single-argument functions.
+
+    Returns the transformed module, ready for
+    :func:`repro.lang.compiler.compile_module`.
+    """
+    if table_size <= 0:
+        raise ValueError("table_size must be positive")
+    module = parse(source)
+    names = list(names)
+    by_name = {f.name: f for f in module.functions}
+    for name in names:
+        if name not in by_name:
+            raise CompileError(f"cannot memoize unknown function {name!r}", 1)
+        if name == "main":
+            raise CompileError("cannot memoize 'main'", 1)
+        if len(by_name[name].params) != 1:
+            raise CompileError(
+                f"memoization supports single-argument functions; "
+                f"{name!r} takes {len(by_name[name].params)}",
+                by_name[name].line,
+            )
+
+    # Call sites need no rewriting: they keep calling ``name``, which
+    # becomes the wrapper — recursive calls inside the original body
+    # therefore go through the memo table too.  Only the definition of
+    # the memoized function is renamed.
+    from dataclasses import replace
+
+    new_functions: list[Function] = []
+    for function in module.functions:
+        if function.name in names:
+            new_functions.append(replace(function, name=f"{function.name}__orig"))
+        else:
+            new_functions.append(function)
+
+    new_globals = list(module.globals)
+    for name in names:
+        wrapper_module = parse(_wrapper_source(name, table_size))
+        new_globals.extend(wrapper_module.globals)
+        new_functions.extend(wrapper_module.functions)
+
+    return Module(globals=tuple(new_globals), functions=tuple(new_functions))

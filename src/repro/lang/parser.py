@@ -1,0 +1,267 @@
+"""Recursive-descent parser for the RL language."""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    Function,
+    GlobalVar,
+    If,
+    IndexRef,
+    IntLiteral,
+    Module,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Syntax error with a source line."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+#: binary operator precedence levels, loosest first
+_PRECEDENCE: list[list[str]] = [
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, text):
+            wanted = text if text is not None else kind
+            raise ParseError(f"expected {wanted!r}, found {token.text!r}", token.line)
+        return self.advance()
+
+    # -- grammar ---------------------------------------------------------
+    def module(self) -> Module:
+        globals_: list[GlobalVar] = []
+        functions: list[Function] = []
+        while not self.check("eof"):
+            if self.check("keyword", "var"):
+                globals_.append(self.global_var())
+            elif self.check("keyword", "func"):
+                functions.append(self.function())
+            else:
+                token = self.peek()
+                raise ParseError(
+                    f"expected 'var' or 'func' at top level, found {token.text!r}",
+                    token.line,
+                )
+        return Module(globals=tuple(globals_), functions=tuple(functions))
+
+    def global_var(self) -> GlobalVar:
+        line = self.expect("keyword", "var").line
+        name = self.expect("ident").text
+        size = 1
+        initial: tuple[int, ...] = ()
+        if self.accept("op", "["):
+            size_token = self.expect("int")
+            size = int(size_token.text, 0)
+            if size <= 0:
+                raise ParseError("array size must be positive", size_token.line)
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                values = [int(self.expect("int").text, 0)]
+                while self.accept("op", ","):
+                    values.append(int(self.expect("int").text, 0))
+                self.expect("op", "}")
+                if len(values) > size:
+                    raise ParseError("too many initialisers", line)
+                initial = tuple(values)
+            else:
+                token = self.peek()
+                negative = bool(self.accept("op", "-"))
+                value_token = self.expect("int")
+                value = int(value_token.text, 0)
+                initial = (-value if negative else value,)
+                if size != 1:
+                    raise ParseError(
+                        "array initialisers use {v, v, ...}", token.line
+                    )
+        self.accept("op", ";")
+        return GlobalVar(name=name, size=size, initial=initial, line=line)
+
+    def function(self) -> Function:
+        line = self.expect("keyword", "func").line
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.check("op", ")"):
+            params.append(self.expect("ident").text)
+            while self.accept("op", ","):
+                params.append(self.expect("ident").text)
+        self.expect("op", ")")
+        body = self.block()
+        if len(params) > 4:
+            raise ParseError("at most 4 parameters are supported", line)
+        return Function(name=name, params=tuple(params), body=body, line=line)
+
+    def block(self) -> tuple[Stmt, ...]:
+        self.expect("op", "{")
+        statements: list[Stmt] = []
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise ParseError("unterminated block", self.peek().line)
+            statements.append(self.statement())
+        self.expect("op", "}")
+        return tuple(statements)
+
+    def statement(self) -> Stmt:
+        token = self.peek()
+        if token.kind == "keyword":
+            if token.text == "var":
+                return self.local_var()
+            if token.text == "if":
+                return self.if_stmt()
+            if token.text == "while":
+                return self.while_stmt()
+            if token.text == "return":
+                return self.return_stmt()
+            raise ParseError(f"unexpected keyword {token.text!r}", token.line)
+        # assignment or expression statement
+        expr = self.expression()
+        if self.accept("op", "="):
+            if not isinstance(expr, (VarRef, IndexRef)):
+                raise ParseError("invalid assignment target", token.line)
+            value = self.expression()
+            self.accept("op", ";")
+            return Assign(line=token.line, target=expr, value=value)
+        self.accept("op", ";")
+        return ExprStmt(line=token.line, expr=expr)
+
+    def local_var(self) -> VarDecl:
+        line = self.expect("keyword", "var").line
+        name = self.expect("ident").text
+        if self.check("op", "["):
+            raise ParseError("arrays must be declared at top level", line)
+        initial = None
+        if self.accept("op", "="):
+            initial = self.expression()
+        self.accept("op", ";")
+        return VarDecl(line=line, name=name, initial=initial)
+
+    def if_stmt(self) -> If:
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        condition = self.expression()
+        self.expect("op", ")")
+        then_body = self.block()
+        else_body: tuple[Stmt, ...] = ()
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                else_body = (self.if_stmt(),)
+            else:
+                else_body = self.block()
+        return If(line=line, condition=condition, then_body=then_body,
+                  else_body=else_body)
+
+    def while_stmt(self) -> While:
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        condition = self.expression()
+        self.expect("op", ")")
+        body = self.block()
+        return While(line=line, condition=condition, body=body)
+
+    def return_stmt(self) -> Return:
+        line = self.expect("keyword", "return").line
+        value = None
+        if not self.check("op", ";") and not self.check("op", "}"):
+            value = self.expression()
+        self.accept("op", ";")
+        return Return(line=line, value=value)
+
+    # -- expressions -------------------------------------------------
+    def expression(self, level: int = 0) -> Expr:
+        if level == len(_PRECEDENCE):
+            return self.unary()
+        left = self.expression(level + 1)
+        while self.peek().kind == "op" and self.peek().text in _PRECEDENCE[level]:
+            op = self.advance()
+            right = self.expression(level + 1)
+            left = Binary(line=op.line, op=op.text, left=left, right=right)
+        return left
+
+    def unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!"):
+            self.advance()
+            operand = self.unary()
+            return Unary(line=token.line, op=token.text, operand=operand)
+        return self.primary()
+
+    def primary(self) -> Expr:
+        token = self.advance()
+        if token.kind == "int":
+            return IntLiteral(line=token.line, value=int(token.text, 0))
+        if token.kind == "ident":
+            if self.accept("op", "("):
+                args: list[Expr] = []
+                if not self.check("op", ")"):
+                    args.append(self.expression())
+                    while self.accept("op", ","):
+                        args.append(self.expression())
+                self.expect("op", ")")
+                if len(args) > 4:
+                    raise ParseError("at most 4 arguments are supported", token.line)
+                return Call(line=token.line, name=token.text, args=tuple(args))
+            if self.accept("op", "["):
+                index = self.expression()
+                self.expect("op", "]")
+                return IndexRef(line=token.line, name=token.text, index=index)
+            return VarRef(line=token.line, name=token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self.expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> Module:
+    """Parse RL source text into a :class:`Module`."""
+    return _Parser(tokenize(source)).module()

@@ -1,0 +1,23 @@
+"""Cycle-level superscalar pipeline model (the Figure 2 integration).
+
+The paper's section 3 sketches how trace-level reuse plugs into a
+superscalar processor: the RTM is probed in parallel with the I-cache;
+on a reuse the fetch unit jumps to the trace's next PC and the
+trace's outputs are written through a single window entry.  The
+limit-study model of :mod:`repro.dataflow` abstracts the pipeline
+away; this package provides a concrete trace-driven, cycle-driven
+model — fetch / dispatch / issue / execute / commit with a reorder
+buffer, bounded widths and per-class functional units — so the finite
+RTM engine can be evaluated in *time*, not just reusability (an
+extension beyond the paper's Figure 9).
+"""
+
+from repro.pipeline.config import FU_PRESET_21164ish, PipelineConfig
+from repro.pipeline.model import PipelineModel, PipelineResult
+
+__all__ = [
+    "PipelineConfig",
+    "FU_PRESET_21164ish",
+    "PipelineModel",
+    "PipelineResult",
+]

@@ -1,0 +1,61 @@
+"""Pipeline model configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import OpClass
+
+#: A 4-wide machine with a functional-unit mix loosely following the
+#: Alpha 21164 (two integer pipes, one load/store port modelled as
+#: two, two FP pipes; divides share the FP units but are unpipelined).
+FU_PRESET_21164ish: dict[OpClass, int] = {
+    OpClass.INT_ALU: 2,
+    OpClass.INT_MUL: 1,
+    OpClass.INT_DIV: 1,
+    OpClass.LOAD: 2,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.FP_ADD: 1,
+    OpClass.FP_MUL: 1,
+    OpClass.FP_DIV: 1,
+    OpClass.FP_SQRT: 1,
+    OpClass.FP_CVT: 1,
+    OpClass.CONTROL: 2,
+}
+
+#: Operation classes whose functional units are not pipelined (a new
+#: operation cannot start until the previous one retires the unit).
+UNPIPELINED: frozenset[OpClass] = frozenset(
+    {OpClass.INT_DIV, OpClass.FP_DIV, OpClass.FP_SQRT}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """Widths and capacities of the modelled superscalar core.
+
+    Branch prediction is assumed perfect (the captured trace supplies
+    the dynamic path), matching the paper's focus on data dependences.
+    """
+
+    fetch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    rob_size: int = 64
+    functional_units: dict[OpClass, int] = field(
+        default_factory=lambda: dict(FU_PRESET_21164ish)
+    )
+    #: cycles a trace reuse operation occupies at dispatch (the RTM
+    #: lookup + state update; section 4.5's constant-latency model)
+    reuse_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.fetch_width, self.issue_width, self.commit_width) < 1:
+            raise ValueError("pipeline widths must be positive")
+        if self.rob_size < 1:
+            raise ValueError("rob_size must be positive")
+        for cls in OpClass:
+            if self.functional_units.get(cls, 0) < 1:
+                raise ValueError(f"no functional units for {cls.name}")

@@ -1,0 +1,261 @@
+"""Trace-driven, cycle-driven superscalar timing model.
+
+The model consumes a captured dynamic stream (and, optionally, the
+reuse decisions of a :class:`~repro.core.rtm.simulator
+.FiniteReuseSimulator` run) and simulates a bounded out-of-order core
+cycle by cycle:
+
+- **fetch**: up to ``fetch_width`` slots per cycle enter the reorder
+  buffer while space remains.  A reused trace enters as a *single*
+  slot — its instructions are never fetched (the paper's fetch-
+  bandwidth and effective-window arguments fall out of this directly).
+- **rename**: at fetch, each operand is bound to its in-flight
+  producer slot (or to "already architectural"), so write-after-write
+  hazards never confuse wake-up.
+- **issue**: up to ``issue_width`` ready slots per cycle, oldest
+  first, subject to per-class functional-unit availability; divide
+  and square-root units are unpipelined.  A trace-reuse slot needs no
+  functional unit (the reuse engine performs the state update) but
+  does consume dispatch bandwidth.
+- **commit**: in order, up to ``commit_width`` slots per cycle; a
+  trace slot commits its whole instruction count at once (the RTM
+  writes all outputs in one state update, section 3.3).
+
+Branch prediction is perfect (the trace supplies the dynamic path),
+as in the paper's dependence-focused analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.rtm.simulator import FiniteReuseResult
+from repro.isa.opcodes import OpClass
+from repro.pipeline.config import UNPIPELINED, PipelineConfig
+from repro.vm.trace import DynInst, Trace
+
+
+class _Slot:
+    """One reorder-buffer entry: an instruction or a reused trace."""
+
+    __slots__ = (
+        "op_class",
+        "latency",
+        "count",
+        "dep_slots",
+        "write_locs",
+        "min_issue_cycle",
+        "done_cycle",
+    )
+
+    def __init__(self, op_class, latency, count, dep_slots, write_locs):
+        self.op_class = op_class  # None for a reused trace
+        self.latency = latency
+        self.count = count
+        self.dep_slots = dep_slots
+        self.write_locs = write_locs
+        self.min_issue_cycle = 0
+        self.done_cycle: int | None = None
+
+    def ready(self, cycle: int) -> bool:
+        if cycle < self.min_issue_cycle:
+            return False
+        for dep in self.dep_slots:
+            if dep.done_cycle is None or dep.done_cycle > cycle:
+                return False
+        return True
+
+
+@dataclass(slots=True)
+class PipelineResult:
+    """Outcome of one pipeline simulation."""
+
+    total_cycles: int
+    committed_instructions: int
+    committed_slots: int
+    reused_instructions: int
+    reuse_events: int
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions (reused ones included) per cycle."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.committed_instructions / self.total_cycles
+
+    def speedup_over(self, baseline: "PipelineResult") -> float:
+        """Cycle-count speed-up relative to another run."""
+        if self.total_cycles <= 0:
+            raise ValueError("degenerate pipeline result")
+        return baseline.total_cycles / self.total_cycles
+
+
+@dataclass(frozen=True, slots=True)
+class _FetchItem:
+    """Pre-built fetch-stream element (decoded once, simulated once)."""
+
+    read_locs: tuple[int, ...]
+    write_locs: tuple[int, ...]
+    op_class: OpClass | None
+    latency: int
+    count: int
+
+
+class PipelineModel:
+    """Cycle-level simulation of a bounded superscalar core."""
+
+    def __init__(self, config: PipelineConfig = PipelineConfig()):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _build_fetch_stream(
+        self,
+        stream: Sequence[DynInst],
+        reuse: FiniteReuseResult | None,
+    ) -> list[_FetchItem]:
+        items: list[_FetchItem] = []
+        ranges = reuse.reused_ranges if reuse is not None else []
+        entries = reuse.reused_entries if reuse is not None else []
+        next_range = 0
+        i = 0
+        n = len(stream)
+        while i < n:
+            if next_range < len(ranges) and ranges[next_range][0] == i:
+                start, stop = ranges[next_range]
+                entry = entries[next_range]
+                items.append(
+                    _FetchItem(
+                        read_locs=tuple(loc for loc, _ in entry.inputs),
+                        write_locs=tuple(loc for loc, _ in entry.outputs),
+                        op_class=None,
+                        latency=self.config.reuse_latency,
+                        count=stop - start,
+                    )
+                )
+                next_range += 1
+                i = stop
+                continue
+            inst = stream[i]
+            items.append(
+                _FetchItem(
+                    read_locs=tuple(loc for loc, _ in inst.reads),
+                    write_locs=tuple(loc for loc, _ in inst.writes),
+                    op_class=inst.op_class,
+                    latency=inst.latency,
+                    count=1,
+                )
+            )
+            i += 1
+        return items
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        trace: Trace | Sequence[DynInst],
+        reuse: FiniteReuseResult | None = None,
+    ) -> PipelineResult:
+        """Run the core over a stream, optionally with reuse decisions.
+
+        ``reuse`` must come from a :class:`FiniteReuseSimulator` run
+        over the *same* stream.
+        """
+        stream = trace.instructions if isinstance(trace, Trace) else list(trace)
+        items = self._build_fetch_stream(stream, reuse)
+        config = self.config
+
+        rob: deque[_Slot] = deque()
+        last_writer: dict[int, _Slot] = {}
+        # unpipelined units: next-free cycle per unit instance
+        unpipelined_free: dict[OpClass, list[int]] = {
+            cls: [0] * config.functional_units[cls] for cls in UNPIPELINED
+        }
+
+        fetch_index = 0
+        committed_instructions = 0
+        committed_slots = 0
+        reused_instructions = 0
+        reuse_events = 0
+        cycle = 0
+        total_items = len(items)
+        # hard ceiling so a model bug cannot hang the suite
+        max_cycles = 40 * max(len(stream), 1) + 1000
+
+        while (fetch_index < total_items or rob) and cycle < max_cycles:
+            # ---- commit (in order) -----------------------------------
+            budget = config.commit_width
+            while (
+                budget
+                and rob
+                and rob[0].done_cycle is not None
+                and rob[0].done_cycle <= cycle
+            ):
+                slot = rob.popleft()
+                committed_slots += 1
+                committed_instructions += slot.count
+                if slot.op_class is None:
+                    reused_instructions += slot.count
+                    reuse_events += 1
+                budget -= 1
+
+            # ---- issue (oldest first) --------------------------------
+            budget = config.issue_width
+            pipelined_used: dict[OpClass, int] = {}
+            for slot in rob:
+                if budget == 0:
+                    break
+                if slot.done_cycle is not None or not slot.ready(cycle):
+                    continue
+                cls = slot.op_class
+                if cls is None:
+                    slot.done_cycle = cycle + slot.latency
+                    budget -= 1
+                    continue
+                if cls in UNPIPELINED:
+                    units = unpipelined_free[cls]
+                    unit = min(range(len(units)), key=units.__getitem__)
+                    if units[unit] > cycle:
+                        continue  # all units busy
+                    units[unit] = cycle + slot.latency
+                else:
+                    used = pipelined_used.get(cls, 0)
+                    if used >= config.functional_units[cls]:
+                        continue  # class issue ports exhausted
+                    pipelined_used[cls] = used + 1
+                slot.done_cycle = cycle + slot.latency
+                budget -= 1
+
+            # ---- fetch / rename --------------------------------------
+            budget = config.fetch_width
+            while budget and fetch_index < total_items and len(rob) < config.rob_size:
+                item = items[fetch_index]
+                deps = []
+                seen = set()
+                for loc in item.read_locs:
+                    producer = last_writer.get(loc)
+                    if producer is not None and id(producer) not in seen:
+                        seen.add(id(producer))
+                        deps.append(producer)
+                slot = _Slot(
+                    item.op_class, item.latency, item.count, deps, item.write_locs
+                )
+                slot.min_issue_cycle = cycle + 1
+                for loc in item.write_locs:
+                    last_writer[loc] = slot
+                rob.append(slot)
+                fetch_index += 1
+                budget -= 1
+
+            cycle += 1
+
+        if rob or fetch_index < total_items:  # pragma: no cover
+            raise RuntimeError("pipeline model exceeded its cycle ceiling")
+
+        return PipelineResult(
+            total_cycles=cycle,
+            committed_instructions=committed_instructions,
+            committed_slots=committed_slots,
+            reused_instructions=reused_instructions,
+            reuse_events=reuse_events,
+        )

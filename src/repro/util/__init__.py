@@ -1,0 +1,27 @@
+"""Shared utilities: statistics, deterministic data generation, formatting.
+
+These helpers are deliberately dependency-light so every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.means import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    harmonic_mean_speedup,
+    weighted_mean,
+)
+from repro.util.rng import DeterministicRNG, mix64
+from repro.util.tables import format_markdown_table, format_table
+
+__all__ = [
+    "arithmetic_mean",
+    "geometric_mean",
+    "harmonic_mean",
+    "harmonic_mean_speedup",
+    "weighted_mean",
+    "DeterministicRNG",
+    "mix64",
+    "format_table",
+    "format_markdown_table",
+]

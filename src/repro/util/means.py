@@ -1,0 +1,67 @@
+"""Averaging helpers matching the paper's reporting conventions.
+
+Section 4.1 of the paper: *"Average speed-ups have been computed
+through harmonic means and average percentages have been determined
+through arithmetic means."*  Every figure driver in :mod:`repro.exp`
+uses these functions so the aggregation rule is applied uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def _as_list(values: Iterable[float]) -> list[float]:
+    out = [float(v) for v in values]
+    if not out:
+        raise ValueError("cannot average an empty sequence")
+    return out
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain arithmetic mean; used for percentages and trace sizes."""
+    vals = _as_list(values)
+    return sum(vals) / len(vals)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; used for speed-ups (paper section 4.1).
+
+    Raises :class:`ValueError` on non-positive inputs, for which the
+    harmonic mean is undefined.
+    """
+    vals = _as_list(values)
+    if any(v <= 0.0 for v in vals):
+        raise ValueError("harmonic mean requires strictly positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; provided for cross-checking aggregate speed-ups."""
+    vals = _as_list(values)
+    if any(v <= 0.0 for v in vals):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean (e.g. instruction-count-weighted rates)."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    total_w = float(sum(weights))
+    if total_w <= 0.0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(float(v) * float(w) for v, w in zip(values, weights)) / total_w
+
+
+def harmonic_mean_speedup(
+    baseline_times: Sequence[float], improved_times: Sequence[float]
+) -> float:
+    """Harmonic mean of per-program speed-ups ``baseline/improved``."""
+    if len(baseline_times) != len(improved_times):
+        raise ValueError("sequences must have the same length")
+    speedups = [b / i for b, i in zip(baseline_times, improved_times)]
+    return harmonic_mean(speedups)

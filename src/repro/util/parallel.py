@@ -1,0 +1,58 @@
+"""Process-pool fan-out for per-benchmark experiment work.
+
+The 14 workload kernels are embarrassingly parallel: each produces its
+own dynamic trace and its own analysis results.  ``parallel_map``
+mirrors the map-style collective pattern from the HPC guides
+(mpi4py's ``scatter``/``gather``) using the standard library so the
+library works on a laptop with no MPI installation.
+
+Workers receive picklable task descriptions, never live ``Machine``
+objects, so the fan-out stays cheap and the workers re-derive state
+locally (the "owner computes" rule).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_worker_count(task_count: int) -> int:
+    """Pick a worker count: never more workers than tasks or cores."""
+    cores = os.cpu_count() or 1
+    return max(1, min(task_count, cores))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    max_workers: int | None = None,
+    serial_threshold: int = 2,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    Falls back to a serial loop for tiny inputs (process start-up costs
+    more than it saves) and when ``max_workers`` is 1, which also makes
+    the function safe to call from within a worker process.
+    """
+    items = list(items)
+    if max_workers is None:
+        max_workers = default_worker_count(len(items))
+    if len(items) < serial_threshold or max_workers <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> Iterable[Sequence[T]]:
+    """Yield successive fixed-size chunks (last chunk may be short)."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    for start in range(0, len(items), chunk_size):
+        yield items[start : start + chunk_size]

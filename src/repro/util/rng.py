@@ -1,0 +1,73 @@
+"""Deterministic pseudo-random data for workload construction.
+
+The workload kernels need input data (text to compress, images to
+transform, grids to relax...) that is reproducible across runs and
+independent of Python's global RNG state.  ``DeterministicRNG`` is a
+small splitmix64/xorshift generator: fast, seedable, and stable across
+platforms and Python versions (unlike ``random.Random`` whose
+algorithms are an implementation detail we'd rather not depend on for
+published experiment tables).
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """SplitMix64 finalizer: avalanche a 64-bit integer."""
+    x &= MASK64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & MASK64
+    return (x ^ (x >> 31)) & MASK64
+
+
+class DeterministicRNG:
+    """A seedable splitmix64 stream with convenience draws.
+
+    >>> rng = DeterministicRNG(42)
+    >>> rng.randint(0, 10) == DeterministicRNG(42).randint(0, 10)
+    True
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = mix64(seed ^ 0x9E3779B97F4A7C15)
+
+    def next_u64(self) -> int:
+        """Advance the stream and return a 64-bit unsigned value."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & MASK64
+        return mix64(self._state)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range ``[lo, hi]``."""
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        span = hi - lo + 1
+        return lo + self.next_u64() % span
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)`` with 53 bits of precision."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def choice(self, seq):
+        """Pick one element of a non-empty sequence."""
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.randint(0, len(seq) - 1)]
+
+    def shuffle(self, seq: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randint(0, i)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def ints(self, n: int, lo: int, hi: int) -> list[int]:
+        """A list of ``n`` uniform integers in ``[lo, hi]``."""
+        return [self.randint(lo, hi) for _ in range(n)]
+
+    def floats(self, n: int, lo: float = 0.0, hi: float = 1.0) -> list[float]:
+        """A list of ``n`` uniform floats in ``[lo, hi)``."""
+        span = hi - lo
+        return [lo + span * self.random() for _ in range(n)]

@@ -1,0 +1,22 @@
+"""Runtime errors raised by the interpreter."""
+
+from __future__ import annotations
+
+
+class VMError(RuntimeError):
+    """A dynamic execution fault (bad PC, division by zero, ...).
+
+    Carries the faulting PC and source line when available so workload
+    authors can locate the offending assembly statement.
+    """
+
+    def __init__(self, message: str, *, pc: int | None = None, line: int | None = None):
+        detail = message
+        if pc is not None:
+            detail += f" (pc={pc}"
+            if line is not None:
+                detail += f", source line {line}"
+            detail += ")"
+        super().__init__(detail)
+        self.pc = pc
+        self.line = line

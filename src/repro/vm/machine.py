@@ -1,0 +1,395 @@
+"""The interpreting virtual machine.
+
+``Machine`` executes an assembled :class:`~repro.vm.program.Program`
+and captures the dynamic instruction stream.  The implementation
+follows the hot-loop idioms from the HPC guides: instructions are
+pre-decoded, dispatch is a single dict lookup to a bound method, and
+per-step allocations are limited to the trace record itself.
+
+Architectural model:
+
+- 32 integer registers (``r0`` hardwired to zero) and 32 FP registers;
+- word-addressed flat memory (a dict; unwritten words read as 0);
+- 64-bit two's-complement integer arithmetic;
+- IEEE double floating point (Python floats).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import LATENCY, Opcode
+from repro.isa.registers import FP_REG_BASE, MEM_LOC_BASE
+from repro.vm.errors import VMError
+from repro.vm.program import Program
+from repro.vm.trace import DynInst, Trace
+
+#: Initial stack pointer (word address); the stack grows downwards.
+DEFAULT_STACK_TOP = 1 << 20
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def _wrap64(x: int) -> int:
+    """Wrap a Python int to 64-bit two's-complement."""
+    x &= _MASK64
+    return x - (1 << 64) if x & _SIGN64 else x
+
+
+class Machine:
+    """Interpreter with dynamic-trace capture.
+
+    Parameters
+    ----------
+    program:
+        The assembled program to run.
+    stack_top:
+        Initial value of the stack pointer register (``sp``).
+    """
+
+    def __init__(self, program: Program, *, stack_top: int = DEFAULT_STACK_TOP):
+        self.program = program
+        self.regs: list[int] = [0] * 32
+        self.fregs: list[float] = [0.0] * 32
+        self.memory: dict[int, int | float] = dict(program.data)
+        self.regs[29] = stack_top  # sp
+        self.pc = program.text_labels.get("main", 0)
+        self.halted = False
+        self.instruction_count = 0
+        self._dispatch = self._build_dispatch()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int | None = None) -> Trace:
+        """Execute until HALT or the instruction budget, capturing a trace."""
+        records: list[DynInst] = []
+        budget = max_instructions if max_instructions is not None else float("inf")
+        while not self.halted and self.instruction_count < budget:
+            records.append(self.step())
+        return Trace(
+            instructions=records,
+            program_name=self.program.name,
+            halted=self.halted,
+            truncated=not self.halted,
+        )
+
+    def step(self) -> DynInst:
+        """Execute one instruction and return its trace record."""
+        if self.halted:
+            raise VMError("machine is halted", pc=self.pc)
+        instrs = self.program.instructions
+        if not 0 <= self.pc < len(instrs):
+            raise VMError(f"pc {self.pc} outside program", pc=self.pc)
+        inst = instrs[self.pc]
+        handler = self._dispatch.get(inst.op)
+        if handler is None:  # pragma: no cover - all opcodes are wired up
+            raise VMError(f"unimplemented opcode {inst.op.name}", pc=self.pc,
+                          line=inst.line)
+        reads, writes, next_pc = handler(inst)
+        record = DynInst(self.pc, inst.op, reads, writes, LATENCY[inst.op], next_pc)
+        self.pc = next_pc
+        self.instruction_count += 1
+        return record
+
+    def read_memory(self, addr: int) -> int | float:
+        """Architectural memory read (unwritten words read as zero)."""
+        return self.memory.get(addr, 0)
+
+    def register(self, index: int) -> int:
+        """Architectural integer-register read."""
+        return self.regs[index]
+
+    def fp_register(self, index: int) -> float:
+        """Architectural FP-register read."""
+        return self.fregs[index]
+
+    # ------------------------------------------------------------------
+    # helpers used by handlers
+    # ------------------------------------------------------------------
+    def _write_reg(self, idx: int, value: int):
+        """Write an int register; returns the trace-write tuple or ()."""
+        if idx == 0:
+            return ()  # r0 is hardwired zero; the write is discarded
+        self.regs[idx] = value
+        return ((idx, value),)
+
+    def _mem_addr(self, inst: Instruction) -> int:
+        addr = self.regs[inst.rs1] + inst.imm
+        if addr < 0:
+            raise VMError(f"negative memory address {addr}", pc=self.pc,
+                          line=inst.line)
+        return addr
+
+    # ------------------------------------------------------------------
+    # opcode handlers: return (reads, writes, next_pc)
+    # ------------------------------------------------------------------
+    def _alu_rr(self, inst: Instruction, fn):
+        a = self.regs[inst.rs1]
+        b = self.regs[inst.rs2]
+        result = fn(a, b)
+        reads = ((inst.rs1, a), (inst.rs2, b))
+        return reads, self._write_reg(inst.rd, result), self.pc + 1
+
+    def _alu_ri(self, inst: Instruction, fn):
+        a = self.regs[inst.rs1]
+        result = fn(a, inst.imm)
+        reads = ((inst.rs1, a),)
+        return reads, self._write_reg(inst.rd, result), self.pc + 1
+
+    def _build_dispatch(self):
+        wrap = _wrap64
+
+        def shift_amount(b: int) -> int:
+            return b & 63
+
+        def srl(a: int, b: int) -> int:
+            return wrap((a & _MASK64) >> shift_amount(b))
+
+        int_rr = {
+            Opcode.ADD: lambda a, b: wrap(a + b),
+            Opcode.SUB: lambda a, b: wrap(a - b),
+            Opcode.AND: lambda a, b: a & b,
+            Opcode.OR: lambda a, b: a | b,
+            Opcode.XOR: lambda a, b: a ^ b,
+            Opcode.SLL: lambda a, b: wrap(a << shift_amount(b)),
+            Opcode.SRL: srl,
+            Opcode.SRA: lambda a, b: a >> shift_amount(b),
+            Opcode.SLT: lambda a, b: 1 if a < b else 0,
+            Opcode.SEQ: lambda a, b: 1 if a == b else 0,
+            Opcode.MUL: lambda a, b: wrap(a * b),
+        }
+        int_ri = {
+            Opcode.ADDI: lambda a, b: wrap(a + b),
+            Opcode.ANDI: lambda a, b: a & b,
+            Opcode.ORI: lambda a, b: a | b,
+            Opcode.XORI: lambda a, b: a ^ b,
+            Opcode.SLLI: lambda a, b: wrap(a << shift_amount(b)),
+            Opcode.SRLI: srl,
+            Opcode.SRAI: lambda a, b: a >> shift_amount(b),
+            Opcode.SLTI: lambda a, b: 1 if a < b else 0,
+            Opcode.MULI: lambda a, b: wrap(a * b),
+        }
+        branches = {
+            Opcode.BEQ: lambda a, b: a == b,
+            Opcode.BNE: lambda a, b: a != b,
+            Opcode.BLT: lambda a, b: a < b,
+            Opcode.BGE: lambda a, b: a >= b,
+            Opcode.BLE: lambda a, b: a <= b,
+            Opcode.BGT: lambda a, b: a > b,
+        }
+        fp_rr = {
+            Opcode.FADD: lambda a, b: a + b,
+            Opcode.FSUB: lambda a, b: a - b,
+            Opcode.FMUL: lambda a, b: a * b,
+        }
+        fp_cmp = {
+            Opcode.FEQ: lambda a, b: 1 if a == b else 0,
+            Opcode.FLT: lambda a, b: 1 if a < b else 0,
+            Opcode.FLE: lambda a, b: 1 if a <= b else 0,
+        }
+
+        table = {}
+        for op, fn in int_rr.items():
+            table[op] = (lambda inst, f=fn: self._alu_rr(inst, f))
+        for op, fn in int_ri.items():
+            table[op] = (lambda inst, f=fn: self._alu_ri(inst, f))
+        for op, fn in branches.items():
+            table[op] = (lambda inst, f=fn: self._branch(inst, f))
+        for op, fn in fp_rr.items():
+            table[op] = (lambda inst, f=fn: self._fp_rr(inst, f))
+        for op, fn in fp_cmp.items():
+            table[op] = (lambda inst, f=fn: self._fp_cmp(inst, f))
+        table[Opcode.DIV] = self._op_div
+        table[Opcode.REM] = self._op_rem
+        table[Opcode.LI] = self._op_li
+        table[Opcode.MOV] = self._op_mov
+        table[Opcode.LW] = self._op_lw
+        table[Opcode.SW] = self._op_sw
+        table[Opcode.FLW] = self._op_flw
+        table[Opcode.FSW] = self._op_fsw
+        table[Opcode.J] = self._op_j
+        table[Opcode.JAL] = self._op_jal
+        table[Opcode.JR] = self._op_jr
+        table[Opcode.FDIV] = self._op_fdiv
+        table[Opcode.FSQRT] = self._op_fsqrt
+        table[Opcode.FNEG] = self._op_fneg
+        table[Opcode.FABS] = self._op_fabs
+        table[Opcode.FMOV] = self._op_fmov
+        table[Opcode.FLI] = self._op_fli
+        table[Opcode.CVTIF] = self._op_cvtif
+        table[Opcode.CVTFI] = self._op_cvtfi
+        table[Opcode.NOP] = self._op_nop
+        table[Opcode.HALT] = self._op_halt
+        return table
+
+    def _branch(self, inst: Instruction, cond):
+        a = self.regs[inst.rs1]
+        b = self.regs[inst.rs2]
+        taken = cond(a, b)
+        next_pc = inst.imm if taken else self.pc + 1
+        return ((inst.rs1, a), (inst.rs2, b)), (), next_pc
+
+    def _fp_rr(self, inst: Instruction, fn):
+        a = self.fregs[inst.rs1]
+        b = self.fregs[inst.rs2]
+        result = fn(a, b)
+        self.fregs[inst.rd] = result
+        reads = ((FP_REG_BASE + inst.rs1, a), (FP_REG_BASE + inst.rs2, b))
+        return reads, ((FP_REG_BASE + inst.rd, result),), self.pc + 1
+
+    def _fp_cmp(self, inst: Instruction, fn):
+        a = self.fregs[inst.rs1]
+        b = self.fregs[inst.rs2]
+        result = fn(a, b)
+        reads = ((FP_REG_BASE + inst.rs1, a), (FP_REG_BASE + inst.rs2, b))
+        return reads, self._write_reg(inst.rd, result), self.pc + 1
+
+    @staticmethod
+    def _trunc_div(a: int, b: int) -> int:
+        """Exact integer division truncating toward zero."""
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+
+    def _op_div(self, inst: Instruction):
+        a = self.regs[inst.rs1]
+        b = self.regs[inst.rs2]
+        if b == 0:
+            raise VMError("integer division by zero", pc=self.pc, line=inst.line)
+        result = _wrap64(self._trunc_div(a, b))
+        reads = ((inst.rs1, a), (inst.rs2, b))
+        return reads, self._write_reg(inst.rd, result), self.pc + 1
+
+    def _op_rem(self, inst: Instruction):
+        a = self.regs[inst.rs1]
+        b = self.regs[inst.rs2]
+        if b == 0:
+            raise VMError("integer remainder by zero", pc=self.pc, line=inst.line)
+        result = _wrap64(a - self._trunc_div(a, b) * b)
+        reads = ((inst.rs1, a), (inst.rs2, b))
+        return reads, self._write_reg(inst.rd, result), self.pc + 1
+
+    def _op_li(self, inst: Instruction):
+        return (), self._write_reg(inst.rd, int(inst.imm)), self.pc + 1
+
+    def _op_mov(self, inst: Instruction):
+        a = self.regs[inst.rs1]
+        return ((inst.rs1, a),), self._write_reg(inst.rd, a), self.pc + 1
+
+    def _op_lw(self, inst: Instruction):
+        base = self.regs[inst.rs1]
+        addr = self._mem_addr(inst)
+        value = self.memory.get(addr, 0)
+        if isinstance(value, float):
+            value = int(value)
+        reads = ((inst.rs1, base), (MEM_LOC_BASE + addr, value))
+        return reads, self._write_reg(inst.rd, value), self.pc + 1
+
+    def _op_sw(self, inst: Instruction):
+        base = self.regs[inst.rs1]
+        value = self.regs[inst.rs2]
+        addr = self._mem_addr(inst)
+        self.memory[addr] = value
+        reads = ((inst.rs1, base), (inst.rs2, value))
+        return reads, ((MEM_LOC_BASE + addr, value),), self.pc + 1
+
+    def _op_flw(self, inst: Instruction):
+        base = self.regs[inst.rs1]
+        addr = self._mem_addr(inst)
+        value = float(self.memory.get(addr, 0))
+        self.fregs[inst.rd] = value
+        reads = ((inst.rs1, base), (MEM_LOC_BASE + addr, value))
+        return reads, ((FP_REG_BASE + inst.rd, value),), self.pc + 1
+
+    def _op_fsw(self, inst: Instruction):
+        base = self.regs[inst.rs1]
+        value = self.fregs[inst.rs2]
+        addr = self._mem_addr(inst)
+        self.memory[addr] = value
+        reads = ((inst.rs1, base), (FP_REG_BASE + inst.rs2, value))
+        return reads, ((MEM_LOC_BASE + addr, value),), self.pc + 1
+
+    def _op_j(self, inst: Instruction):
+        return (), (), int(inst.imm)
+
+    def _op_jal(self, inst: Instruction):
+        link = self.pc + 1
+        return (), self._write_reg(inst.rd, link), int(inst.imm)
+
+    def _op_jr(self, inst: Instruction):
+        a = self.regs[inst.rs1]
+        return ((inst.rs1, a),), (), a
+
+    def _op_fdiv(self, inst: Instruction):
+        a = self.fregs[inst.rs1]
+        b = self.fregs[inst.rs2]
+        if b == 0.0:
+            raise VMError("floating division by zero", pc=self.pc, line=inst.line)
+        result = a / b
+        self.fregs[inst.rd] = result
+        reads = ((FP_REG_BASE + inst.rs1, a), (FP_REG_BASE + inst.rs2, b))
+        return reads, ((FP_REG_BASE + inst.rd, result),), self.pc + 1
+
+    def _op_fsqrt(self, inst: Instruction):
+        a = self.fregs[inst.rs1]
+        if a < 0.0:
+            raise VMError("square root of a negative value", pc=self.pc,
+                          line=inst.line)
+        result = a ** 0.5
+        self.fregs[inst.rd] = result
+        reads = ((FP_REG_BASE + inst.rs1, a),)
+        return reads, ((FP_REG_BASE + inst.rd, result),), self.pc + 1
+
+    def _op_fneg(self, inst: Instruction):
+        a = self.fregs[inst.rs1]
+        result = -a
+        self.fregs[inst.rd] = result
+        return (((FP_REG_BASE + inst.rs1, a),),
+                ((FP_REG_BASE + inst.rd, result),), self.pc + 1)
+
+    def _op_fabs(self, inst: Instruction):
+        a = self.fregs[inst.rs1]
+        result = abs(a)
+        self.fregs[inst.rd] = result
+        return (((FP_REG_BASE + inst.rs1, a),),
+                ((FP_REG_BASE + inst.rd, result),), self.pc + 1)
+
+    def _op_fmov(self, inst: Instruction):
+        a = self.fregs[inst.rs1]
+        self.fregs[inst.rd] = a
+        return (((FP_REG_BASE + inst.rs1, a),),
+                ((FP_REG_BASE + inst.rd, a),), self.pc + 1)
+
+    def _op_fli(self, inst: Instruction):
+        value = float(inst.imm)
+        self.fregs[inst.rd] = value
+        return (), ((FP_REG_BASE + inst.rd, value),), self.pc + 1
+
+    def _op_cvtif(self, inst: Instruction):
+        a = self.regs[inst.rs1]
+        result = float(a)
+        self.fregs[inst.rd] = result
+        return (((inst.rs1, a),),
+                ((FP_REG_BASE + inst.rd, result),), self.pc + 1)
+
+    def _op_cvtfi(self, inst: Instruction):
+        a = self.fregs[inst.rs1]
+        result = _wrap64(int(a))
+        reads = ((FP_REG_BASE + inst.rs1, a),)
+        return reads, self._write_reg(inst.rd, result), self.pc + 1
+
+    def _op_nop(self, inst: Instruction):
+        return (), (), self.pc + 1
+
+    def _op_halt(self, inst: Instruction):
+        self.halted = True
+        return (), (), self.pc
+
+
+def run_source(source: str, *, name: str = "<anonymous>",
+               max_instructions: int | None = None) -> Trace:
+    """Assemble and run source text in one call (convenience for tests)."""
+    from repro.vm.assembler import assemble
+
+    machine = Machine(assemble(source, name=name))
+    return machine.run(max_instructions=max_instructions)

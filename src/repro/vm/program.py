@@ -1,0 +1,59 @@
+"""Assembled program container.
+
+A :class:`Program` owns the decoded instruction list, the label maps
+produced by the assembler and the initial data-segment image.  PCs
+are instruction indices (every instruction occupies one slot), and
+memory is word-addressed, so ``.word`` directives advance the data
+cursor by one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+
+#: Default base address of the data segment (word address).  Chosen
+#: away from 0 so stray null-pointer loads are distinguishable in
+#: traces and tests.
+DATA_BASE = 0x1000
+
+
+@dataclass(slots=True)
+class Program:
+    """A fully assembled program ready for execution.
+
+    Attributes
+    ----------
+    instructions:
+        Decoded static instructions; the PC indexes this list.
+    text_labels:
+        Code label -> instruction index.
+    data_labels:
+        Data label -> word address in the data segment.
+    data:
+        Initial memory image (word address -> int or float value).
+    name:
+        Optional human-readable program name (used in reports).
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    text_labels: dict[str, int] = field(default_factory=dict)
+    data_labels: dict[str, int] = field(default_factory=dict)
+    data: dict[int, int | float] = field(default_factory=dict)
+    name: str = "<anonymous>"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def label_pc(self, label: str) -> int:
+        """PC of a code label; raises ``KeyError`` if undefined."""
+        return self.text_labels[label]
+
+    def data_address(self, label: str) -> int:
+        """Word address of a data label; raises ``KeyError`` if undefined."""
+        return self.data_labels[label]
+
+    def static_instruction_count(self) -> int:
+        """Number of static instructions (the ``len`` of the text segment)."""
+        return len(self.instructions)

@@ -1,0 +1,153 @@
+"""Dynamic instruction records — the unit every analysis consumes.
+
+A :class:`DynInst` is the Python equivalent of one ATOM trace record:
+it captures which storage locations an executed instruction read and
+wrote **and the values involved**, which is exactly the information
+the paper's reuse analyses need.  Locations use the flat integer
+encoding from :mod:`repro.isa.registers` so registers and memory flow
+through the same dependence tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode, OpClass, op_class
+from repro.isa.registers import loc_is_mem
+
+
+class DynInst:
+    """One executed instruction.
+
+    Attributes
+    ----------
+    pc:
+        Instruction index of this dynamic instance.
+    op:
+        The executed opcode.
+    reads:
+        Tuple of ``(location, value)`` pairs, in read order.  Includes
+        source registers and, for loads, the memory word read.
+    writes:
+        Tuple of ``(location, value)`` pairs, in write order.
+    latency:
+        Result latency in cycles (Alpha-21164 model).
+    next_pc:
+        PC of the dynamically following instruction (branch outcome
+        included), which the RTM stores as the resume point of a trace.
+    """
+
+    __slots__ = ("pc", "op", "reads", "writes", "latency", "next_pc")
+
+    def __init__(
+        self,
+        pc: int,
+        op: Opcode,
+        reads: tuple[tuple[int, int | float], ...],
+        writes: tuple[tuple[int, int | float], ...],
+        latency: int,
+        next_pc: int,
+    ) -> None:
+        self.pc = pc
+        self.op = op
+        self.reads = reads
+        self.writes = writes
+        self.latency = latency
+        self.next_pc = next_pc
+
+    def input_signature(self) -> tuple:
+        """Hashable identity of this instance's inputs.
+
+        Two dynamic instances of the same static instruction with equal
+        signatures read the same locations with the same values — the
+        reusability criterion of section 4.2.  The branch/jump outcome
+        is a pure function of the inputs, so ``next_pc`` need not be
+        part of the signature.
+        """
+        return self.reads
+
+    def is_memory_op(self) -> bool:
+        """True for loads and stores."""
+        return self.op_class in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def op_class(self) -> OpClass:
+        """Functional class of the executed opcode."""
+        return op_class(self.op)
+
+    def reads_memory(self) -> bool:
+        """True if any read location is a memory word."""
+        return any(loc_is_mem(loc) for loc, _ in self.reads)
+
+    def writes_memory(self) -> bool:
+        """True if any written location is a memory word."""
+        return any(loc_is_mem(loc) for loc, _ in self.writes)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynInst(pc={self.pc}, op={self.op.name}, reads={self.reads!r}, "
+            f"writes={self.writes!r}, lat={self.latency}, next={self.next_pc})"
+        )
+
+
+@dataclass(slots=True)
+class Trace:
+    """A captured dynamic instruction stream plus execution metadata."""
+
+    instructions: list[DynInst] = field(default_factory=list)
+    program_name: str = "<anonymous>"
+    halted: bool = False
+    #: True when the run stopped because it hit the instruction budget.
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index):
+        return self.instructions[index]
+
+    @property
+    def dynamic_count(self) -> int:
+        """Number of dynamic instructions captured."""
+        return len(self.instructions)
+
+    def static_pcs(self) -> set[int]:
+        """The set of distinct static PCs that executed."""
+        return {d.pc for d in self.instructions}
+
+    def opcode_histogram(self) -> dict[Opcode, int]:
+        """Dynamic opcode mix (useful for workload characterisation)."""
+        hist: dict[Opcode, int] = {}
+        for d in self.instructions:
+            hist[d.op] = hist.get(d.op, 0) + 1
+        return hist
+
+    def class_histogram(self) -> dict[OpClass, int]:
+        """Dynamic operation-class mix."""
+        hist: dict[OpClass, int] = {}
+        for d in self.instructions:
+            cls = d.op_class
+            hist[cls] = hist.get(cls, 0) + 1
+        return hist
+
+
+def slice_trace(trace: Trace, start: int, stop: int) -> Trace:
+    """A sub-range of a trace as a new :class:`Trace` (shares records)."""
+    return Trace(
+        instructions=trace.instructions[start:stop],
+        program_name=trace.program_name,
+        halted=False,
+        truncated=True,
+    )
+
+
+def merge_reads(dyninsts: Sequence[DynInst]) -> list[tuple[int, int | float]]:
+    """All reads of a sequence in order (helper for trace liveness tests)."""
+    out: list[tuple[int, int | float]] = []
+    for d in dyninsts:
+        out.extend(d.reads)
+    return out

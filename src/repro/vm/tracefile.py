@@ -1,0 +1,120 @@
+"""Trace serialization: ATOM-style trace files for the Python era.
+
+Dynamic traces are expensive to regenerate for big budgets, and
+shipping them between machines (or caching them between experiment
+runs) wants a stable on-disk format.  ``save_trace``/``load_trace``
+implement a line-oriented JSON format:
+
+- line 1: a header object (format tag, program name, flags, count);
+- one compact JSON array per dynamic instruction:
+  ``[pc, opcode, [loc, value, ...], [loc, value, ...], latency, next_pc]``
+  with the read/write pair lists flattened.
+
+``.gz`` paths are transparently gzip-compressed.  Round-tripping
+preserves every field bit-for-bit (ints stay ints, floats stay
+floats), which the property tests assert.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+from collections.abc import Iterable
+
+from repro.isa.opcodes import Opcode
+from repro.vm.trace import DynInst, Trace
+
+FORMAT_TAG = "repro-trace-v1"
+
+
+def _open(path: pathlib.Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _flatten(pairs: Iterable[tuple[int, int | float]]) -> list:
+    out: list = []
+    for loc, value in pairs:
+        out.append(loc)
+        out.append(value)
+    return out
+
+
+def _unflatten(flat: list) -> tuple[tuple[int, int | float], ...]:
+    if len(flat) % 2:
+        raise TraceFileError("odd-length location/value list")
+    return tuple((flat[i], flat[i + 1]) for i in range(0, len(flat), 2))
+
+
+class TraceFileError(ValueError):
+    """Malformed or incompatible trace file."""
+
+
+def save_trace(trace: Trace, path: str | pathlib.Path) -> None:
+    """Write a trace; ``.gz`` suffixes enable compression."""
+    path = pathlib.Path(path)
+    header = {
+        "format": FORMAT_TAG,
+        "program": trace.program_name,
+        "halted": trace.halted,
+        "truncated": trace.truncated,
+        "count": len(trace),
+    }
+    with _open(path, "w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for inst in trace:
+            record = [
+                inst.pc,
+                int(inst.op),
+                _flatten(inst.reads),
+                _flatten(inst.writes),
+                inst.latency,
+                inst.next_pc,
+            ]
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def load_trace(path: str | pathlib.Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    with _open(path, "r") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise TraceFileError(f"{path}: empty trace file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceFileError(f"{path}: bad header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("format") != FORMAT_TAG:
+            raise TraceFileError(f"{path}: not a {FORMAT_TAG} file")
+        instructions = []
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                pc, op, reads, writes, latency, next_pc = json.loads(line)
+            except (json.JSONDecodeError, ValueError) as exc:
+                raise TraceFileError(f"{path}:{lineno}: bad record: {exc}") from exc
+            instructions.append(
+                DynInst(
+                    pc=pc,
+                    op=Opcode(op),
+                    reads=_unflatten(reads),
+                    writes=_unflatten(writes),
+                    latency=latency,
+                    next_pc=next_pc,
+                )
+            )
+    if header.get("count") is not None and header["count"] != len(instructions):
+        raise TraceFileError(
+            f"{path}: header declares {header['count']} records, "
+            f"found {len(instructions)}"
+        )
+    return Trace(
+        instructions=instructions,
+        program_name=header.get("program", "<unknown>"),
+        halted=bool(header.get("halted", False)),
+        truncated=bool(header.get("truncated", False)),
+    )

@@ -1,0 +1,49 @@
+"""The 14-kernel workload suite standing in for SPEC95.
+
+Each module provides one kernel written in the reproduction ISA whose
+dynamic behaviour mirrors the *character* of the corresponding SPEC95
+program: algorithm class, INT/FP mix, branchiness and — critically
+for this paper — its value-repetition profile (how quickly the values
+flowing through the program evolve, which is what instruction- and
+trace-level reusability measure).
+
+Importing this package registers every kernel; use
+:func:`repro.workloads.base.get_workload` or
+:data:`repro.workloads.base.INT_SUITE` / ``FP_SUITE`` to enumerate.
+"""
+
+from repro.workloads import (  # noqa: F401  (imports register the kernels)
+    fp_applu,
+    fp_apsi,
+    fp_fpppp,
+    fp_hydro2d,
+    fp_su2cor,
+    fp_tomcatv,
+    fp_turb3d,
+    int_compress,
+    int_gcc,
+    int_go,
+    int_ijpeg,
+    int_li,
+    int_perl,
+    int_vortex,
+)
+from repro.workloads.base import (
+    FP_SUITE,
+    INT_SUITE,
+    Workload,
+    all_workloads,
+    build_program,
+    get_workload,
+    run_workload,
+)
+
+__all__ = [
+    "Workload",
+    "get_workload",
+    "all_workloads",
+    "build_program",
+    "run_workload",
+    "INT_SUITE",
+    "FP_SUITE",
+]

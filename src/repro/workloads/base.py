@@ -1,0 +1,92 @@
+"""Workload registry and execution helpers."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.vm.assembler import assemble
+from repro.vm.machine import Machine
+from repro.vm.program import Program
+from repro.vm.trace import Trace
+
+#: Suite order follows the paper's figures (FP first, then INT).
+FP_SUITE = ["applu", "apsi", "fpppp", "hydro2d", "su2cor", "tomcatv", "turb3d"]
+INT_SUITE = ["compress", "gcc", "go", "ijpeg", "li", "perl", "vortex"]
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A registered benchmark kernel.
+
+    ``builder`` returns assembly source text; ``scale`` grows data
+    sizes and iteration counts roughly linearly.
+    """
+
+    name: str
+    suite: str
+    description: str
+    builder: Callable[[int], str] = field(compare=False)
+
+    def source(self, scale: int = 1) -> str:
+        """Assembly source at the given scale."""
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        return self.builder(scale)
+
+    def program(self, scale: int = 1) -> Program:
+        """Assemble the kernel."""
+        return assemble(self.source(scale), name=self.name)
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(name: str, suite: str, description: str):
+    """Decorator: register a kernel builder under ``name``."""
+    if suite not in ("INT", "FP"):
+        raise ValueError(f"unknown suite {suite!r}")
+
+    def wrap(builder: Callable[[int], str]) -> Callable[[int], str]:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate workload {name!r}")
+        _REGISTRY[name] = Workload(
+            name=name, suite=suite, description=description, builder=builder
+        )
+        return builder
+
+    return wrap
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a registered kernel by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def all_workloads() -> list[Workload]:
+    """All kernels in the paper's reporting order (FP suite, INT suite)."""
+    ordered = FP_SUITE + INT_SUITE
+    return [_REGISTRY[name] for name in ordered if name in _REGISTRY]
+
+
+def build_program(name: str, scale: int = 1) -> Program:
+    """Assemble a kernel by name."""
+    return get_workload(name).program(scale)
+
+
+def run_workload(
+    name: str, *, scale: int = 1, max_instructions: int | None = 60_000
+) -> Trace:
+    """Assemble and execute a kernel, capturing its dynamic trace.
+
+    Kernels contain outer repetition loops sized well beyond any
+    realistic budget, so the run is normally truncated at
+    ``max_instructions`` — the analogue of the paper's fixed 50M
+    instruction window per program.
+    """
+    machine = Machine(build_program(name, scale))
+    return machine.run(max_instructions=max_instructions)

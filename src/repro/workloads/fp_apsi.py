@@ -1,0 +1,64 @@
+"""``apsi`` — meteorology kernel: evolving advection plus static
+terrain pressure (SPEC95 apsi).
+
+Half the work advects a wind field in place (values evolve every
+step, like applu), the other half derives pressure diagnostics from a
+static terrain table (repeats after the first step).  The mix puts
+apsi between applu and the repetitive FP codes, matching its paper
+profile of low-to-middling reusability and short traces.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import register
+from repro.workloads.generators import floats_directive, smooth_grid
+
+_N = 80
+
+
+@register("apsi", "FP", "advected wind field plus static terrain diagnostics")
+def build(scale: int) -> str:
+    wind = smooth_grid(_N + 2, seed=0xA951, lo=-1.0, hi=1.0)
+    terrain = smooth_grid(_N + 2, seed=0xA952, lo=0.0, hi=2.0)
+    return f"""
+# apsi: w[i] -= c*(w[i]-w[i-1]) (in place, evolving)
+#       p[i] = alpha*terrain[i] + beta*terrain[i]^2 (static, repeats)
+.data
+{floats_directive("wind", wind)}
+{floats_directive("terrain", terrain)}
+press: .space {_N + 2}
+
+.text
+main:
+    li   a0, 1048576          # step budget
+    fli  f10, 0.15            # advection coefficient
+    fli  f11, 9.81            # alpha
+    fli  f12, 0.5             # beta
+step_loop:
+    la   s0, wind
+    la   s1, terrain
+    la   s2, press
+    li   t0, 1
+    li   s5, {_N + 1}
+cell_loop:
+    add  t1, s0, t0
+    flw  f0, 0(t1)            # w[i]
+    flw  f1, -1(t1)           # w[i-1]
+    fsub f2, f0, f1
+    fmul f2, f2, f10
+    fsub f0, f0, f2
+    fsw  f0, 0(t1)            # in-place advection: evolves forever
+    add  t2, s1, t0
+    flw  f3, 0(t2)            # terrain[i] (static)
+    fmul f4, f3, f11
+    fmul f5, f3, f3
+    fmul f5, f5, f12
+    fadd f4, f4, f5
+    add  t2, s2, t0
+    fsw  f4, 0(t2)            # pressure diagnostic: repeats
+    addi t0, t0, 1
+    blt  t0, s5, cell_loop
+    subi a0, a0, 1
+    bgtz a0, step_loop
+    halt
+"""

@@ -1,0 +1,65 @@
+"""``fpppp`` — long straight-line FP blocks bound by accumulators
+(SPEC95 fpppp).
+
+Gaussian-integral style code: each iteration evaluates a long
+straight-line block of pairwise products over a static basis table —
+those repeat — but every few operations the result is folded into
+running energy accumulators that never take the same value twice.
+The dense interleaving of reusable and non-reusable instructions
+yields fpppp's paper profile: decent instruction reusability but the
+shortest traces and the smallest trace-reuse benefit of the suite.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import register
+from repro.workloads.generators import floats_directive, smooth_grid
+
+_BASIS = 16
+
+
+@register("fpppp", "FP", "straight-line FP blocks folded into accumulators")
+def build(scale: int) -> str:
+    basis = smooth_grid(_BASIS, seed=0xF999, lo=0.2, hi=1.8)
+    body = []
+    # a long straight-line block: product terms over the static basis
+    # interleaved with accumulator folds (the accumulators evolve).
+    for i in range(_BASIS // 2):
+        j = (_BASIS // 2) + i
+        body.append(f"    flw  f0, {i}(s0)")
+        body.append(f"    flw  f1, {j}(s0)")
+        body.append("    fmul f2, f0, f1          # static product (reusable)")
+        body.append("    fadd f4, f0, f1")
+        body.append("    fmul f4, f4, f4           # static square of the sum")
+        body.append("    fmul f5, f2, f4           # static overlap term")
+        body.append("    fadd f5, f5, f2")
+        body.append("    fadd f20, f20, f5         # energy fold (never repeats)")
+        body.append("    fsub f3, f0, f1")
+        body.append("    fmul f3, f3, f3           # static square (reusable)")
+        body.append("    fmul f6, f3, f2           # static cross term")
+        body.append("    fadd f6, f6, f3")
+        body.append("    fadd f21, f21, f6         # exchange fold (never repeats)")
+    block = "\n".join(body)
+    return f"""
+# fpppp: straight-line two-electron blocks with running accumulators
+.data
+{floats_directive("basis", basis)}
+energy: .space 2
+
+.text
+main:
+    li   a0, 1048576          # block budget
+    fli  f20, 0.0             # energy accumulator
+    fli  f21, 0.0             # exchange accumulator
+    fli  f22, 1.0000001       # drift factor keeps accumulators fresh
+block_loop:
+    la   s0, basis
+{block}
+    fmul f20, f20, f22        # prevent any accidental fixpoint
+    la   t0, energy
+    fsw  f20, 0(t0)
+    fsw  f21, 1(t0)
+    subi a0, a0, 1
+    bgtz a0, block_loop
+    halt
+"""

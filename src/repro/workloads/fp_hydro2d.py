@@ -1,0 +1,86 @@
+"""``hydro2d`` — out-of-place flux computation over a static field
+(SPEC95 hydro2d).
+
+Each "time step" computes fluxes, energies and a predicted field from
+the *same* input grid (results go to separate output arrays), so
+every pass after the first replays identical values end to end.  This
+gives hydro2d its paper profile: the highest instruction-level
+reusability of the suite (99%) and by far the longest reusable traces
+(hundreds of instructions).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import register
+from repro.workloads.generators import floats_directive, smooth_grid
+
+_N = 128
+
+
+@register("hydro2d", "FP", "out-of-place flux sweep over a static grid")
+def build(scale: int) -> str:
+    grid = smooth_grid(_N + 2, seed=0x44D0, lo=1.0, hi=3.0)
+    return f"""
+# hydro2d: flux = 0.5*(u[i+1]-u[i-1]); e = q*flux^2; pred = u + dt*flux
+# plus a serial flux limiter s = 0.5*s + flux (Gauss-Seidel-style
+# recurrence: a long dependent FP chain that repeats every other step)
+.data
+{floats_directive("u", grid)}
+flux: .space {_N + 2}
+en:   .space {_N + 2}
+pred:   .space {_N + 2}
+lim:    .space {_N + 2}
+visits: .space {_N + 2}
+
+.text
+main:
+    li   a0, 1048576          # step budget
+    fli  f10, 0.5
+    fli  f11, 0.85            # q
+    fli  f12, 0.01            # dt
+step_loop:
+    la   s0, u                # the input grid never changes
+    la   s1, flux
+    la   s2, en
+    la   s3, pred
+    la   s4, lim
+    fli  f20, 0.0             # flux limiter (reset each step -> periodic)
+    li   t0, 1
+    li   s5, {_N + 1}
+cell_loop:
+    add  t1, s0, t0
+    flw  f0, -1(t1)
+    flw  f1, 1(t1)
+    fsub f2, f1, f0
+    fmul f2, f2, f10          # flux
+    add  t2, s1, t0
+    fsw  f2, 0(t2)
+    fmul f3, f2, f2
+    fmul f3, f3, f11          # energy
+    add  t2, s2, t0
+    fsw  f3, 0(t2)
+    flw  f4, 0(t1)
+    fmul f5, f2, f12
+    fadd f4, f4, f5           # predicted field (not written back to u)
+    add  t2, s3, t0
+    fsw  f4, 0(t2)
+    fmul f20, f20, f10
+    fadd f20, f20, f2         # serial limiter recurrence
+    add  t2, s4, t0
+    fsw  f20, 0(t2)
+    # sparse bookkeeping: visit counters on every 32nd cell keep trace
+    # lengths at the couple-hundred-instruction scale
+    andi t3, t0, 31
+    bnez t3, no_visit
+    la   t4, visits
+    add  t4, t4, t0
+    lw   t5, 0(t4)
+    addi t5, t5, 1
+    sw   t5, 0(t4)
+no_visit:
+    addi t0, t0, 1
+    blt  t0, s5, cell_loop
+    subi a0, a0, 1
+    bgtz a0, step_loop
+    halt
+"""

@@ -1,0 +1,73 @@
+"""``su2cor`` — lattice correlation with bookkeeping counters
+(SPEC95 su2cor).
+
+Most of the work computes nearest-neighbour correlations over a
+static table of gauge links (periodic across sweeps via an
+alternating input copy, hence reusable); per-site visit counters in
+memory keep a minority of the instructions genuinely evolving.  This
+lands su2cor in the upper-middle of the reusability range with medium
+traces, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import register
+from repro.workloads.generators import floats_directive, smooth_grid
+
+_N = 64
+
+
+@register("su2cor", "FP", "static link correlations plus per-site visit counters")
+def build(scale: int) -> str:
+    links = smooth_grid(_N + 4, seed=0x52C0, lo=-1.0, hi=1.0)
+    return f"""
+# su2cor: corr[i][d] = links[i]*links[i+d] for d in 1..3 (periodic)
+#         visits[i]++ (evolving bookkeeping, never repeats)
+.data
+{floats_directive("links", links + links)}
+corr:   .space {3 * _N}
+visits: .space {_N}
+
+.text
+main:
+    li   a0, 1048576          # sweep budget
+    li   s7, 0                # periodic phase
+sweep_loop:
+    addi s7, s7, 1
+    andi s7, s7, 1            # phase alternates 0/1 (periodic spine)
+    muli s0, s7, {_N + 4}
+    la   t5, links
+    add  s0, s0, t5           # this sweep's link copy
+    la   s1, corr
+    la   s2, visits
+    li   t0, 0
+    li   s5, {_N}
+site_loop:
+    add  t1, s0, t0
+    flw  f0, 0(t1)            # links[i]
+    # correlations at distances 1..3 (periodic, repeat every 2 sweeps)
+    flw  f1, 1(t1)
+    fmul f2, f0, f1
+    muli t2, t0, 3
+    add  t2, s1, t2
+    fsw  f2, 0(t2)
+    flw  f1, 2(t1)
+    fmul f2, f0, f1
+    fsw  f2, 1(t2)
+    flw  f1, 3(t1)
+    fmul f2, f0, f1
+    fsw  f2, 2(t2)
+    # bookkeeping on even sites only: visits[i]++ (evolving)
+    andi t4, t0, 1
+    bnez t4, skip_visit
+    add  t3, s2, t0
+    lw   t4, 0(t3)
+    addi t4, t4, 1
+    sw   t4, 0(t3)
+skip_visit:
+    addi t0, t0, 1
+    blt  t0, s5, site_loop
+    subi a0, a0, 1
+    bgtz a0, sweep_loop
+    halt
+"""

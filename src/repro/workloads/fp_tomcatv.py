@@ -1,0 +1,75 @@
+"""``tomcatv`` — mesh-coordinate smoothing with residual tracking
+(SPEC95 tomcatv).
+
+The new mesh coordinates are computed out-of-place from static input
+meshes (repeats after the first iteration), but each point also folds
+its displacement into a running residual norm that never repeats —
+one fresh instruction in every ~17 splits the long repetitive runs
+into medium traces, matching tomcatv's paper profile.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import register
+from repro.workloads.generators import floats_directive, smooth_grid
+
+_N = 96
+
+
+@register("tomcatv", "FP", "out-of-place mesh smoothing with residual norm")
+def build(scale: int) -> str:
+    xs = smooth_grid(_N + 2, seed=0x70CA, lo=0.0, hi=10.0)
+    ys = smooth_grid(_N + 2, seed=0x70CB, lo=0.0, hi=5.0)
+    return f"""
+# tomcatv: xn[i] = 0.25*(x[i-1] + x[i+1] + y[i-1] + y[i+1]) (static)
+#          res += (xn[i] - x[i])^2 (per-iteration residual norm; reset
+#          each iteration so its long FP chain is periodic)
+.data
+{floats_directive("x", xs + xs)}
+{floats_directive("y", ys + ys)}
+xn:  .space {_N + 2}
+res: .space 1
+
+.text
+main:
+    li   a0, 1048576          # iteration budget
+    li   s7, 0                # periodic phase
+    fli  f10, 0.25
+iter_loop:
+    addi s7, s7, 1
+    andi s7, s7, 1            # phase alternates 0/1 (periodic spine)
+    fli  f20, 0.0             # residual resets every iteration
+    muli s0, s7, {_N + 2}
+    la   t5, x
+    add  s0, s0, t5
+    muli s1, s7, {_N + 2}
+    la   t5, y
+    add  s1, s1, t5
+    la   s2, xn
+    li   t0, 1
+    li   s5, {_N + 1}
+point_loop:
+    add  t1, s0, t0
+    flw  f0, -1(t1)
+    flw  f1, 1(t1)
+    fadd f2, f0, f1
+    add  t2, s1, t0
+    flw  f3, -1(t2)
+    flw  f4, 1(t2)
+    fadd f5, f3, f4
+    fadd f2, f2, f5
+    fmul f2, f2, f10          # smoothed coordinate (static, repeats)
+    add  t3, s2, t0
+    fsw  f2, 0(t3)
+    flw  f6, 0(t1)
+    fsub f7, f2, f6
+    fmul f7, f7, f7
+    fadd f20, f20, f7         # residual fold: fresh every execution
+    addi t0, t0, 1
+    blt  t0, s5, point_loop
+    la   t4, res
+    fsw  f20, 0(t4)
+    subi a0, a0, 1
+    bgtz a0, iter_loop
+    halt
+"""

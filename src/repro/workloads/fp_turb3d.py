@@ -1,0 +1,127 @@
+"""``turb3d`` — alternating forward/inverse transform passes
+(SPEC95 turb3d).
+
+turb3d spends its time in FFT/inverse-FFT pairs over the turbulence
+grid.  We model one radix-2 stage pair exactly: each pass permutes
+the complex field through the bit-reversal involution, applies an
+exactly-representable power-of-two scaling with sign inversion (so
+two passes restore the field bit-for-bit), and computes a twiddle
+spectrum diagnostic per point.  The field ping-pongs between two
+buffers, threading a long serial chain of loads and FP multiplies
+through the whole run whose values have period two — the repeated
+high-latency dependence chains that give turb3d the largest
+instruction-level-reuse speed-up in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import register
+from repro.workloads.generators import floats_directive, words_directive
+
+_N = 48
+_TW = 16  # twiddle table size
+
+
+def _scramble() -> list[int]:
+    """An involutive permutation (index reversal, like bit-reversal
+    for power-of-two sizes): applying it twice is the identity."""
+    return [_N - 1 - i for i in range(_N)]
+
+
+def _signal() -> tuple[list[float], list[float]]:
+    re, im = [], []
+    for i in range(_N):
+        x = 2 * math.pi * i / _N
+        re.append(math.sin(3 * x) + 0.5 * math.sin(7 * x + 0.4))
+        im.append(0.25 * math.cos(5 * x))
+    return re, im
+
+
+@register("turb3d", "FP", "ping-pong butterfly passes with exact inverses")
+def build(scale: int) -> str:
+    re, im = _signal()
+    twr = [math.cos(-2 * math.pi * k / _TW) for k in range(_TW)]
+    twi = [math.sin(-2 * math.pi * k / _TW) for k in range(_TW)]
+    return f"""
+# turb3d: dst[i] = -((src[perm[i]] * -0.5) * -2.0)  (exact involution
+# over two passes) plus a twiddle power spectrum diagnostic
+.data
+{floats_directive("are", re)}
+{floats_directive("aim", im)}
+bre: .space {_N}
+bim: .space {_N}
+{floats_directive("twr", twr)}
+{floats_directive("twi", twi)}
+{words_directive("perm", _scramble())}
+diag: .space {_N}
+
+.text
+main:
+    li   a0, 1048576          # pass budget
+    li   s7, 0                # ping-pong phase
+    fli  f10, -0.5
+    fli  f11, -2.0
+pass_loop:
+    la   s0, are
+    la   s1, aim
+    la   s2, bre
+    la   s3, bim
+    beqz s7, no_swap
+    mov  t0, s0
+    mov  s0, s2
+    mov  s2, t0
+    mov  t0, s1
+    mov  s1, s3
+    mov  s3, t0
+no_swap:
+    li   t1, 1
+    sub  s7, t1, s7           # flip phase
+    la   s4, perm
+    la   s5, diag
+    li   t0, 0
+point_loop:
+    add  t1, s4, t0
+    lw   t2, 0(t1)            # j = perm[i]
+    add  t3, s0, t2
+    flw  f0, 0(t3)            # xr = src_re[j]  (chained across passes)
+    add  t3, s1, t2
+    flw  f1, 0(t3)            # xi = src_im[j]
+    # exact scale-and-flip: survives two passes bit-for-bit
+    fmul f2, f0, f10
+    fmul f2, f2, f11
+    fneg f2, f2
+    add  t3, s2, t0
+    fsw  f2, 0(t3)            # dst_re[i]
+    fmul f3, f1, f10
+    fmul f3, f3, f11
+    fneg f3, f3
+    add  t3, s3, t0
+    fsw  f3, 0(t3)            # dst_im[i]
+    # twiddle spectrum diagnostic (off the chain, heavily reusable)
+    andi t4, t0, {_TW - 1}
+    la   t5, twr
+    add  t5, t5, t4
+    flw  f4, 0(t5)
+    la   t5, twi
+    add  t5, t5, t4
+    flw  f5, 0(t5)
+    fmul f6, f0, f4
+    fmul f7, f1, f5
+    fsub f6, f6, f7           # real part
+    fmul f7, f0, f5
+    fmul f8, f1, f4
+    fadd f7, f7, f8           # imaginary part
+    fmul f6, f6, f6
+    fmul f7, f7, f7
+    fadd f6, f6, f7           # power
+    add  t5, s5, t0
+    fsw  f6, 0(t5)
+    addi t0, t0, 1
+    li   t6, {_N}
+    blt  t0, t6, point_loop
+    subi a0, a0, 1
+    bgtz a0, pass_loop
+    halt
+"""

@@ -1,0 +1,92 @@
+"""Shared helpers for emitting kernel data segments.
+
+Kernels embed their input data (text buffers, images, grids, token
+streams) as ``.data`` directives; these helpers render Python lists
+into directive lines with deterministic contents derived from
+:class:`repro.util.rng.DeterministicRNG`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.util.rng import DeterministicRNG
+
+
+def words_directive(label: str, values: Sequence[int], per_line: int = 16) -> str:
+    """Render ``label: .word v v v ...`` lines for an int array."""
+    lines = [f"{label}:"]
+    vals = list(values)
+    if not vals:
+        return f"{label}: .space 0"
+    for i in range(0, len(vals), per_line):
+        chunk = " ".join(str(v) for v in vals[i : i + per_line])
+        lines.append(f"    .word {chunk}")
+    return "\n".join(lines)
+
+
+def floats_directive(label: str, values: Sequence[float], per_line: int = 8) -> str:
+    """Render ``label: .float v v v ...`` lines for an FP array."""
+    lines = [f"{label}:"]
+    vals = list(values)
+    if not vals:
+        return f"{label}: .space 0"
+    for i in range(0, len(vals), per_line):
+        chunk = " ".join(f"{v!r}" for v in vals[i : i + per_line])
+        lines.append(f"    .float {chunk}")
+    return "\n".join(lines)
+
+
+def space_directive(label: str, count: int) -> str:
+    """Render a zero-initialised array reservation."""
+    return f"{label}: .space {count}"
+
+
+def repetitive_text(length: int, seed: int, *, alphabet: int = 16,
+                    phrase_pool: int = 12, phrase_len: int = 8) -> list[int]:
+    """Text with heavy phrase-level repetition (compress/gcc food).
+
+    Builds a small pool of random phrases and concatenates random
+    picks from it, so n-gram repetition is high — the property LZW
+    compression and tokenisers exploit, and the source of value
+    repetition the paper measures in ``compress``.
+    """
+    rng = DeterministicRNG(seed)
+    phrases = [
+        [rng.randint(1, alphabet) for _ in range(phrase_len)]
+        for _ in range(phrase_pool)
+    ]
+    out: list[int] = []
+    while len(out) < length:
+        out.extend(rng.choice(phrases))
+    return out[:length]
+
+
+def smooth_grid(n: int, seed: int, *, lo: float = 0.0, hi: float = 4.0) -> list[float]:
+    """A smooth 1-D field for stencil kernels (sum of a few harmonics)."""
+    import math
+
+    rng = DeterministicRNG(seed)
+    amps = rng.floats(4, 0.1, 1.0)
+    phases = rng.floats(4, 0.0, 6.283)
+    span = hi - lo
+    out = []
+    for i in range(n):
+        x = i / max(n - 1, 1)
+        v = sum(a * math.sin((k + 1) * 6.283 * x + p)
+                for k, (a, p) in enumerate(zip(amps, phases)))
+        out.append(lo + span * (0.5 + 0.25 * v))
+    return out
+
+
+def token_stream(length: int, seed: int, *, kinds: int = 10) -> list[int]:
+    """A token-id stream with grammar-like bigram structure (gcc food)."""
+    rng = DeterministicRNG(seed)
+    # favoured successor for each token kind makes bigrams repetitive
+    successor = [rng.randint(0, kinds - 1) for _ in range(kinds)]
+    out: list[int] = []
+    tok = 0
+    for _ in range(length):
+        out.append(tok)
+        tok = successor[tok] if rng.random() < 0.7 else rng.randint(0, kinds - 1)
+    return out

@@ -1,0 +1,128 @@
+"""``compress`` — LZW compression of repetitive text (SPEC95 129.compress).
+
+Each pass first recodes the text buffer through an involutive
+substitution table (a ROT13-style cipher: applying it twice restores
+the original), ping-ponging between two buffers, then LZW-compresses
+the current buffer with a hash-table dictionary.  The recode step
+threads a genuine load-latency-bound dependence chain through the
+whole run whose values repeat with period two — exactly the repeated
+high-latency chains that let instruction-level reuse shorten
+compress's critical path in the paper — while the LZW dictionary
+probes keep the control flow branchy and data-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import register
+from repro.workloads.generators import repetitive_text, words_directive
+
+_HASH_SIZE = 128
+_TEXT_LEN = 48
+_ALPHABET = 16
+
+
+def _involution() -> list[int]:
+    """A substitution table over 1..2*ALPHABET that is its own inverse."""
+    table = [0] * (2 * _ALPHABET + 1)
+    for c in range(1, _ALPHABET + 1):
+        table[c] = c + _ALPHABET
+        table[c + _ALPHABET] = c
+    return table
+
+
+@register("compress", "INT", "LZW with an involutive recode pass")
+def build(scale: int) -> str:
+    text = repetitive_text(_TEXT_LEN * scale, seed=0xC0_3, alphabet=_ALPHABET)
+    text_len = len(text)
+    return f"""
+# compress: recode buffer through an involutive cipher, then LZW it
+.data
+{words_directive("bufa", text)}
+bufb:   .space {text_len}
+{words_directive("subst", _involution())}
+tkey:   .space {_HASH_SIZE}
+tval:   .space {_HASH_SIZE}
+outbuf: .space {text_len + 4}
+
+.text
+main:
+    li   a0, 1048576          # pass budget (run is truncated by the harness)
+    li   s7, 0                # ping-pong phase
+pass_loop:
+    # select source/destination buffers (alternate every pass)
+    la   s0, bufa
+    la   s1, bufb
+    beqz s7, no_swap
+    mov  t0, s0
+    mov  s0, s1
+    mov  s1, t0
+no_swap:
+    li   t1, 1
+    sub  s7, t1, s7           # flip phase
+
+    # recode: dst[i] = subst[src[i]]  (values have period 2)
+    la   s2, subst
+    li   t0, 0
+recode_loop:
+    add  t1, s0, t0
+    lw   t2, 0(t1)
+    add  t3, s2, t2
+    lw   t4, 0(t3)
+    add  t5, s1, t0
+    sw   t4, 0(t5)
+    addi t0, t0, 1
+    li   t6, {text_len}
+    blt  t0, t6, recode_loop
+
+    # reset the dictionary
+    la   t0, tkey
+    li   t1, {_HASH_SIZE}
+clear_loop:
+    sw   r0, 0(t0)
+    addi t0, t0, 1
+    subi t1, t1, 1
+    bgtz t1, clear_loop
+
+    # LZW over the freshly recoded buffer (in s1)
+    li   s3, {2 * _ALPHABET + 1}   # next dictionary code
+    la   s4, outbuf
+    lw   t1, 0(s1)            # w = buf[0]
+    li   t0, 1                # i = 1
+    li   s5, {text_len}
+lzw_loop:
+    add  t5, s1, t0
+    lw   t2, 0(t5)            # c = buf[i]
+    slli t3, t1, 6
+    add  t3, t3, t2           # key = w*64 + c
+    andi t4, t3, {_HASH_SIZE - 1}
+probe:
+    la   t5, tkey
+    add  t5, t5, t4
+    lw   t6, 0(t5)
+    beqz t6, miss
+    beq  t6, t3, hit
+    addi t4, t4, 1
+    andi t4, t4, {_HASH_SIZE - 1}
+    j    probe
+hit:
+    la   t5, tval
+    add  t5, t5, t4
+    lw   t1, 0(t5)            # w = dictionary code
+    j    advance
+miss:
+    sw   t3, 0(t5)            # tkey[h] = key
+    la   t7, tval
+    add  t7, t7, t4
+    sw   s3, 0(t7)            # tval[h] = next code
+    addi s3, s3, 1
+    sw   t1, 0(s4)            # emit code for w
+    addi s4, s4, 1
+    mov  t1, t2               # w = c
+advance:
+    addi t0, t0, 1
+    blt  t0, s5, lzw_loop
+    sw   t1, 0(s4)            # emit the final code
+    subi a0, a0, 1
+    bgtz a0, pass_loop
+    halt
+"""

@@ -1,0 +1,101 @@
+"""``gcc`` — table-driven token automaton (SPEC95 126.gcc).
+
+A compiler front-end in miniature: a DFA drives over a token stream
+with grammar-like bigram structure, reducing on accepting states and
+bumping per-class statistics counters.  The counters accumulate
+across passes, so a sprinkling of never-repeating instructions
+interrupts the otherwise repetitive parse — giving gcc its paper
+profile of high instruction reusability but only moderate trace
+sizes.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRNG
+from repro.workloads.base import register
+from repro.workloads.generators import token_stream, words_directive
+
+_KINDS = 10
+_STATES = 16
+_ACCEPT = 15
+
+
+def _transition_table(seed: int) -> list[int]:
+    rng = DeterministicRNG(seed)
+    table = []
+    for state in range(_STATES):
+        for kind in range(_KINDS):
+            if state >= 12 and kind >= 7:
+                table.append(_ACCEPT)  # reduction
+            else:
+                table.append(rng.randint(0, _STATES - 2))
+    return table
+
+
+@register("gcc", "INT", "DFA parser over a structured token stream")
+def build(scale: int) -> str:
+    tokens = token_stream(384 * scale, seed=0x6CC)
+    trans = _transition_table(seed=0x6CC + 1)
+    return f"""
+# gcc: table-driven parse with per-class statistics
+.data
+{words_directive("tokens", tokens)}
+{words_directive("trans", trans)}
+symtab: .space 256
+counts: .space {_STATES}
+outbuf: .space 260
+nred:   .word 0
+
+.text
+main:
+    li   a0, 1048576          # pass budget
+pass_loop:
+    li   s0, 0                # state
+    li   t0, 0                # token index
+    li   s5, {len(tokens)}
+    la   s1, tokens
+    la   s2, trans
+    la   s6, outbuf
+parse_loop:
+    add  t1, s1, t0
+    lw   t2, 0(t1)            # tok = tokens[i]
+    muli t3, s0, {_KINDS}
+    add  t3, t3, t2
+    add  t3, s2, t3
+    lw   s0, 0(t3)            # state = trans[state][tok]
+
+    # identifiers (kind 3) go through the symbol table
+    li   t4, 3
+    bne  t2, t4, not_ident
+    slli t5, t0, 3
+    add  t5, t5, t2
+    andi t5, t5, 255
+    la   t6, symtab
+    add  t6, t6, t5
+    lw   t7, 0(t6)
+    addi t7, t7, 1
+    sw   t7, 0(t6)            # symtab[h]++ (accumulates across passes)
+not_ident:
+    li   t4, {_ACCEPT}
+    bne  s0, t4, no_reduce
+    # statistics only on reductions (accumulate across passes)
+    la   t6, counts
+    add  t6, t6, t2
+    lw   t7, 0(t6)
+    addi t7, t7, 1
+    sw   t7, 0(t6)
+    la   t6, nred
+    lw   t7, 0(t6)
+    addi t7, t7, 1
+    sw   t7, 0(t6)            # reductions++
+    andi t5, t7, 255
+    add  t6, s6, t5
+    sw   t0, 0(t6)            # record reduction site
+    li   s0, 0
+no_reduce:
+    addi t0, t0, 1
+    blt  t0, s5, parse_loop
+    subi a0, a0, 1
+    bgtz a0, pass_loop
+    halt
+"""

@@ -1,0 +1,90 @@
+"""``go`` — branchy board evaluation with a slowly evolving board
+(SPEC95 099.go).
+
+Each "move" evaluates influence over the interior of a 19x19 board
+(neighbour sums with data-dependent branching on stone colour), picks
+the best empty point, and places a stone there.  The board mutates a
+little every move, so the evaluation is largely repetitive but keeps
+being perturbed near the new stones — moderate reusability with
+medium traces, like the original's pattern matchers.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRNG
+from repro.workloads.base import register
+from repro.workloads.generators import words_directive
+
+_SIZE = 19
+_CELLS = _SIZE * _SIZE
+
+
+def _initial_board(seed: int) -> list[int]:
+    rng = DeterministicRNG(seed)
+    board = [0] * _CELLS
+    for _ in range(40):  # sprinkle some stones of both colours
+        board[rng.randint(0, _CELLS - 1)] = rng.randint(1, 2)
+    return board
+
+
+@register("go", "INT", "board influence evaluation with move placement")
+def build(scale: int) -> str:
+    board = _initial_board(seed=0x60 + scale)
+    return f"""
+# go: evaluate influence, then place a stone at the best empty point
+.data
+{words_directive("board", board)}
+infl:   .space {_CELLS}
+
+.text
+main:
+    li   a0, 1048576          # move budget
+    li   s7, 1                # colour to move
+move_loop:
+    la   s0, board
+    la   s1, infl
+    li   t0, {_SIZE + 1}      # first interior cell
+    li   s5, {_CELLS - _SIZE - 1}
+    li   s3, -1               # best score
+    li   s4, 0                # best cell
+eval_loop:
+    add  t1, s0, t0
+    lw   t2, 0(t1)            # stone at cell
+    bnez t2, occupied
+    # influence = weighted sum of the four neighbours
+    lw   t3, -1(t1)
+    lw   t4, 1(t1)
+    add  t3, t3, t4
+    lw   t4, -{_SIZE}(t1)
+    add  t3, t3, t4
+    lw   t4, {_SIZE}(t1)
+    add  t3, t3, t4
+    # friendly stones pull harder: +3 if left neighbour is ours
+    lw   t4, -1(t1)
+    bne  t4, s7, no_bonus
+    addi t3, t3, 3
+no_bonus:
+    add  t5, s1, t0
+    sw   t3, 0(t5)            # infl[cell] = score
+    ble  t3, s3, not_best
+    mov  s3, t3
+    mov  s4, t0
+not_best:
+    j    eval_next
+occupied:
+    add  t5, s1, t0
+    sw   r0, 0(t5)
+eval_next:
+    addi t0, t0, 1
+    blt  t0, s5, eval_loop
+
+    # place a stone at the best cell (mutates the board)
+    add  t1, s0, s4
+    sw   s7, 0(t1)
+    # swap colour 1 <-> 2
+    li   t2, 3
+    sub  s7, t2, s7
+    subi a0, a0, 1
+    bgtz a0, move_loop
+    halt
+"""

@@ -1,0 +1,152 @@
+"""``ijpeg`` — integer DCT + quantisation over image blocks
+(SPEC95 132.ijpeg).
+
+The image is built from a handful of distinct 4x4 tile patterns, so
+whole-block transforms repeat with identical inputs — the block-level
+value locality that gives ijpeg the largest trace-level-reuse win in
+the paper (entire dependent MAC chains collapse into one reuse).
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRNG
+from repro.workloads.base import register
+from repro.workloads.generators import words_directive
+
+_N = 4  # block edge
+_BLOCK = _N * _N
+_BLOCKS = 8
+
+#: 4-point DCT-II basis, scaled by 64 and rounded.
+_COEF = [
+    [64, 64, 64, 64],
+    [84, 35, -35, -84],
+    [64, -64, -64, 64],
+    [35, -84, 84, -35],
+]
+_QSHIFT = [2, 3, 4, 5]  # quantisation as right shifts per frequency row
+
+
+def _image(seed: int) -> list[int]:
+    rng = DeterministicRNG(seed)
+    patterns = [
+        [rng.randint(0, 255) for _ in range(_BLOCK)] for _ in range(2)
+    ]
+    img: list[int] = []
+    for b in range(_BLOCKS):
+        img.extend(patterns[b % len(patterns)])
+    return img
+
+
+@register("ijpeg", "INT", "4x4 integer DCT and quantisation over image blocks")
+def build(scale: int) -> str:
+    img = _image(seed=0x1395 + scale)
+    coef = [c for row in _COEF for c in row]
+    return f"""
+# ijpeg: separable integer DCT per block, then quantisation; two
+# identical image copies alternate via a periodic phase
+.data
+{words_directive("img", img + img)}
+{words_directive("coef", coef)}
+{words_directive("qshift", _QSHIFT)}
+tmp:    .space {_BLOCK}
+outbuf: .space {_BLOCKS * _BLOCK}
+
+.text
+main:
+    li   a0, 1048576          # pass budget
+    li   s7, 0                # periodic phase
+pass_loop:
+    addi s7, s7, 1
+    andi s7, s7, 1            # phase alternates 0/1 (periodic spine)
+    li   s4, 0                # block index
+block_loop:
+    muli s0, s7, {_BLOCKS * _BLOCK}
+    muli t0, s4, {_BLOCK}
+    add  s0, s0, t0
+    la   t0, img
+    add  s0, s0, t0           # s0 = &img[phase][block]
+    la   s1, tmp
+    la   s2, coef
+
+    # row transform: tmp[r][k] = (sum_x img[r][x] * coef[k][x]) >> 6
+    li   a1, 0                # r
+row_loop:
+    li   a2, 0                # k
+rowk_loop:
+    li   t5, 0                # acc
+    li   a3, 0                # x
+rowx_loop:
+    muli t1, a1, {_N}
+    add  t1, t1, a3
+    add  t1, s0, t1
+    lw   t2, 0(t1)            # img[r][x]
+    muli t3, a2, {_N}
+    add  t3, t3, a3
+    add  t3, s2, t3
+    lw   t4, 0(t3)            # coef[k][x]
+    mul  t2, t2, t4
+    add  t5, t5, t2
+    addi a3, a3, 1
+    slti t6, a3, {_N}
+    bnez t6, rowx_loop
+    srai t5, t5, 6
+    muli t1, a1, {_N}
+    add  t1, t1, a2
+    add  t1, s1, t1
+    sw   t5, 0(t1)            # tmp[r][k]
+    addi a2, a2, 1
+    slti t6, a2, {_N}
+    bnez t6, rowk_loop
+    addi a1, a1, 1
+    slti t6, a1, {_N}
+    bnez t6, row_loop
+
+    # column transform + quantisation:
+    #   out[k][c] = ((sum_y tmp[y][c] * coef[k][y]) >> 6) >> qshift[k]
+    muli s3, s4, {_BLOCK}
+    la   t0, outbuf
+    add  s3, s3, t0           # s3 = &outbuf[block]
+    li   a1, 0                # c
+col_loop:
+    li   a2, 0                # k
+colk_loop:
+    li   t5, 0                # acc
+    li   a3, 0                # y
+coly_loop:
+    muli t1, a3, {_N}
+    add  t1, t1, a1
+    add  t1, s1, t1
+    lw   t2, 0(t1)            # tmp[y][c]
+    muli t3, a2, {_N}
+    add  t3, t3, a3
+    add  t3, s2, t3
+    lw   t4, 0(t3)            # coef[k][y]
+    mul  t2, t2, t4
+    add  t5, t5, t2
+    addi a3, a3, 1
+    slti t6, a3, {_N}
+    bnez t6, coly_loop
+    srai t5, t5, 6
+    la   t3, qshift
+    add  t3, t3, a2
+    lw   t4, 0(t3)
+    sra  t5, t5, t4           # quantise
+    muli t1, a2, {_N}
+    add  t1, t1, a1
+    add  t1, s3, t1
+    sw   t5, 0(t1)            # out[k][c]
+    addi a2, a2, 1
+    slti t6, a2, {_N}
+    bnez t6, colk_loop
+    addi a1, a1, 1
+    slti t6, a1, {_N}
+    bnez t6, col_loop
+
+    addi s4, s4, 1
+    slti t6, s4, {_BLOCKS}
+    bnez t6, block_loop
+    subi a0, a0, 1
+    bgtz a0, pass_loop
+    halt
+"""

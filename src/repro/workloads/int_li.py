@@ -1,0 +1,170 @@
+"""``li`` — recursive expression interpreter (SPEC95 130.li).
+
+A miniature Lisp evaluator: expression trees stored as node arrays
+are evaluated by a recursive ``eval`` routine (real call/return with
+stack saves).  The environment is almost static — one variable is
+bumped each pass — so evaluation is heavily repetitive, with the
+recursion producing subroutine-shaped traces like xlisp's
+interpreter loop.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRNG
+from repro.workloads.base import register
+from repro.workloads.generators import words_directive
+
+_OP_CONST, _OP_VAR, _OP_ADD, _OP_SUB, _OP_MUL = 0, 1, 2, 3, 4
+_ENV_SIZE = 8
+_TREES = 6
+
+
+def _build_trees(seed: int):
+    """Generate expression-tree node arrays and per-tree root indices."""
+    rng = DeterministicRNG(seed)
+    ops: list[int] = []
+    a: list[int] = []
+    b: list[int] = []
+
+    def leaf() -> int:
+        idx = len(ops)
+        if rng.random() < 0.6:
+            ops.append(_OP_CONST)
+            a.append(rng.randint(1, 9))
+        else:
+            ops.append(_OP_VAR)
+            a.append(rng.randint(1, _ENV_SIZE - 1))  # var 0 appears once below
+        b.append(0)
+        return idx
+
+    def tree(depth: int) -> int:
+        if depth == 0:
+            return leaf()
+        left = tree(depth - 1 if rng.random() < 0.8 else 0)
+        right = tree(depth - 1 if rng.random() < 0.8 else 0)
+        idx = len(ops)
+        ops.append(rng.choice([_OP_ADD, _OP_SUB, _OP_MUL]))
+        a.append(left)
+        b.append(right)
+        return idx
+
+    roots = [tree(3) for _ in range(_TREES - 1)]
+    # one tree references the evolving variable env[0]
+    var0 = len(ops)
+    ops.append(_OP_VAR)
+    a.append(0)
+    b.append(0)
+    const = len(ops)
+    ops.append(_OP_CONST)
+    a.append(3)
+    b.append(0)
+    root = len(ops)
+    ops.append(_OP_ADD)
+    a.append(var0)
+    b.append(const)
+    roots.append(root)
+    return ops, a, b, roots
+
+
+@register("li", "INT", "recursive evaluation of expression trees")
+def build(scale: int) -> str:
+    ops, a, b, roots = _build_trees(seed=0x115 + scale)
+    env = DeterministicRNG(0x115).ints(_ENV_SIZE, 1, 9)
+    return f"""
+# li: recursive expression evaluator over static trees
+.data
+{words_directive("nodeop", ops)}
+{words_directive("nodea", a)}
+{words_directive("nodeb", b)}
+{words_directive("roots", roots)}
+{words_directive("env", env)}
+results: .space {_TREES}
+visits:  .space {len(ops)}
+
+.text
+main:
+    li   a0, 1048576          # pass budget
+pass_loop:
+    li   s4, 0                # tree index
+tree_loop:
+    la   t0, roots
+    add  t0, t0, s4
+    lw   a1, 0(t0)
+    call eval
+    la   t0, results
+    add  t0, t0, s4
+    sw   v0, 0(t0)
+    addi s4, s4, 1
+    li   t1, {_TREES}
+    blt  s4, t1, tree_loop
+    # evolve env[0] with period 4: the cross-pass chain is periodic,
+    # so evaluation becomes fully repetitive after four passes
+    la   t0, env
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    andi t1, t1, 3
+    sw   t1, 0(t0)
+    subi a0, a0, 1
+    bgtz a0, pass_loop
+    halt
+
+# eval: a1 = node index -> v0 = value
+eval:
+    # GC bookkeeping: visits[node]++ (evolving, bounds trace sizes;
+    # the chains are per-node, so they stay off the critical path)
+    la   t0, visits
+    add  t0, t0, a1
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+    la   t0, nodeop
+    add  t0, t0, a1
+    lw   t1, 0(t0)            # op
+    bnez t1, eval_not_const
+    la   t0, nodea
+    add  t0, t0, a1
+    lw   v0, 0(t0)
+    ret
+eval_not_const:
+    li   t2, {_OP_VAR}
+    bne  t1, t2, eval_binop
+    la   t0, nodea
+    add  t0, t0, a1
+    lw   t3, 0(t0)
+    la   t0, env
+    add  t0, t0, t3
+    lw   v0, 0(t0)
+    ret
+eval_binop:
+    push ra
+    push a1                   # save node index
+    la   t0, nodea
+    add  t0, t0, a1
+    lw   a1, 0(t0)
+    call eval                 # left operand
+    push v0
+    lw   a1, 1(sp)            # reload node index
+    la   t0, nodeb
+    add  t0, t0, a1
+    lw   a1, 0(t0)
+    call eval                 # right operand (in v0)
+    pop  t4                   # left value
+    pop  a1                   # node index
+    la   t0, nodeop
+    add  t0, t0, a1
+    lw   t1, 0(t0)
+    li   t2, {_OP_ADD}
+    bne  t1, t2, eval_try_sub
+    add  v0, t4, v0
+    j    eval_done
+eval_try_sub:
+    li   t2, {_OP_SUB}
+    bne  t1, t2, eval_mul
+    sub  v0, t4, v0
+    j    eval_done
+eval_mul:
+    mul  v0, t4, v0
+eval_done:
+    pop  ra
+    ret
+"""

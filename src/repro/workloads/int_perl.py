@@ -1,0 +1,110 @@
+"""``perl`` — string hashing and pattern matching (SPEC95 134.perl).
+
+Each iteration builds a key by splicing an evolving counter digit
+into a pooled template string, hashes it character by character into
+bucket counters, and then runs a naive substring search of a static
+pattern over static text.  The evolving key makes the hash chains
+produce fresh values every iteration while the match loop repeats —
+a mix of short reusable runs broken up by never-repeating hash
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRNG
+from repro.workloads.base import register
+from repro.workloads.generators import repetitive_text, words_directive
+
+_KEY_LEN = 8
+_POOL = 4
+_TEXT_LEN = 96
+_PAT_LEN = 5
+_BUCKETS = 64
+
+
+@register("perl", "INT", "string hashing with an evolving key plus matching")
+def build(scale: int) -> str:
+    rng = DeterministicRNG(0x9E41 + scale)
+    pool = [rng.ints(_KEY_LEN, 1, 26) for _ in range(_POOL)]
+    text = repetitive_text(_TEXT_LEN, seed=0x9E42, alphabet=8, phrase_len=6)
+    pattern = text[17 : 17 + _PAT_LEN]  # guaranteed to occur at least once
+    flat_pool = [c for key in pool for c in key]
+    return f"""
+# perl: hash evolving keys, then match a pattern over static text
+.data
+{words_directive("pool", flat_pool)}
+{words_directive("text", text)}
+{words_directive("pattern", pattern)}
+buckets: .space {_BUCKETS}
+keybuf:  .space {_KEY_LEN}
+nmatch:  .word 0
+
+.text
+main:
+    li   a0, 1048576          # iteration budget
+iter_loop:
+    # build key: template from the pool with the counter spliced in
+    andi t0, a0, {_POOL - 1}
+    muli t0, t0, {_KEY_LEN}
+    la   t1, pool
+    add  t1, t1, t0           # template base
+    la   t2, keybuf
+    li   t3, 0
+copy_key:
+    add  t4, t1, t3
+    lw   t5, 0(t4)
+    add  t4, t2, t3
+    sw   t5, 0(t4)
+    addi t3, t3, 1
+    li   t6, {_KEY_LEN}
+    blt  t3, t6, copy_key
+    andi t5, a0, 255          # evolving digit (fresh value per iteration)
+    sw   t5, 0(t2)            # keybuf[0] = digit
+
+    # hash: h = h*31 + c over the key characters
+    li   s0, 0                # h
+    li   t3, 0
+hash_loop:
+    add  t4, t2, t3
+    lw   t5, 0(t4)
+    muli s0, s0, 31
+    add  s0, s0, t5
+    addi t3, t3, 1
+    li   t6, {_KEY_LEN}
+    blt  t3, t6, hash_loop
+    andi s0, s0, {_BUCKETS - 1}
+    la   t4, buckets
+    add  t4, t4, s0
+    lw   t5, 0(t4)
+    addi t5, t5, 1
+    sw   t5, 0(t4)            # buckets[h]++
+
+    # naive substring search of pattern over text (static, repeats)
+    la   s1, text
+    la   s2, pattern
+    li   t0, 0                # text index
+    li   s5, {_TEXT_LEN - _PAT_LEN}
+match_outer:
+    li   t3, 0                # pattern index
+match_inner:
+    add  t4, s1, t0
+    add  t4, t4, t3
+    lw   t5, 0(t4)
+    add  t4, s2, t3
+    lw   t6, 0(t4)
+    bne  t5, t6, match_fail
+    addi t3, t3, 1
+    li   t7, {_PAT_LEN}
+    blt  t3, t7, match_inner
+    la   t4, nmatch
+    lw   t5, 0(t4)
+    addi t5, t5, 1
+    sw   t5, 0(t4)            # full match
+match_fail:
+    addi t0, t0, 1
+    ble  t0, s5, match_outer
+
+    subi a0, a0, 1
+    bgtz a0, iter_loop
+    halt
+"""

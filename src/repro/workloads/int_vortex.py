@@ -1,0 +1,114 @@
+"""``vortex`` — an object store with hashed chains (SPEC95 147.vortex).
+
+A database in miniature: objects live in parallel arrays linked into
+hash-bucket chains.  The op mix is seven lookups of hot keys per one
+insertion of a fresh key, so the store grows monotonically: chain
+walks for hot keys are repetitive but keep lengthening as new objects
+are prepended, mirroring vortex's mix of highly repetitive queries
+over an evolving database.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRNG
+from repro.workloads.base import register
+from repro.workloads.generators import words_directive
+
+_BUCKETS = 64
+_MAX_OBJECTS = 2048
+_POOL = 16
+
+
+@register("vortex", "INT", "hashed object store: hot lookups + fresh inserts")
+def build(scale: int) -> str:
+    rng = DeterministicRNG(0x40F + scale)
+    keypool = sorted({rng.randint(1, 600) for _ in range(_POOL * 2)})[:_POOL]
+    assert len(keypool) == _POOL
+    return f"""
+# vortex: hash-chained object store
+.data
+{words_directive("keypool", keypool)}
+heads: .space {_BUCKETS}
+okey:  .space {_MAX_OBJECTS}
+oval:  .space {_MAX_OBJECTS}
+onext: .space {_MAX_OBJECTS}
+
+.text
+main:
+    li   s3, 1                # next object slot (0 = null)
+    li   t0, 0                # pre-insert the hot keys
+init_loop:
+    la   t1, keypool
+    add  t1, t1, t0
+    lw   a1, 0(t1)
+    call insert
+    addi t0, t0, 1
+    li   t2, {_POOL}
+    blt  t0, t2, init_loop
+
+    li   a0, 1048576          # op budget
+    li   s6, 0                # checksum of looked-up values
+op_loop:
+    andi t0, a0, 15
+    bnez t0, do_lookup
+    li   t1, 1000             # fresh key (never repeats)
+    add  a1, t1, s3
+    call insert
+    j    op_next
+do_lookup:
+    andi t0, a0, {_POOL - 1}
+    la   t1, keypool
+    add  t1, t1, t0
+    lw   a1, 0(t1)
+    call lookup
+    add  s6, s6, v0
+op_next:
+    subi a0, a0, 1
+    bgtz a0, op_loop
+    halt
+
+# insert: a1 = key; prepends a new object to its bucket chain
+insert:
+    andi t0, a1, {_BUCKETS - 1}
+    la   t1, heads
+    add  t1, t1, t0
+    la   t2, okey
+    add  t2, t2, s3
+    sw   a1, 0(t2)
+    muli t3, a1, 3
+    la   t2, oval
+    add  t2, t2, s3
+    sw   t3, 0(t2)
+    lw   t4, 0(t1)            # old chain head
+    la   t2, onext
+    add  t2, t2, s3
+    sw   t4, 0(t2)
+    sw   s3, 0(t1)            # heads[h] = new object
+    addi s3, s3, 1
+    ret
+
+# lookup: a1 = key -> v0 = value (0 when absent)
+lookup:
+    andi t0, a1, {_BUCKETS - 1}
+    la   t1, heads
+    add  t1, t1, t0
+    lw   t2, 0(t1)            # cursor
+walk:
+    beqz t2, not_found
+    la   t3, okey
+    add  t3, t3, t2
+    lw   t4, 0(t3)
+    beq  t4, a1, found
+    la   t3, onext
+    add  t3, t3, t2
+    lw   t2, 0(t3)
+    j    walk
+found:
+    la   t3, oval
+    add  t3, t3, t2
+    lw   v0, 0(t3)
+    ret
+not_found:
+    li   v0, 0
+    ret
+"""

@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm.assembler import assemble
+from repro.vm.machine import Machine
+from repro.vm.trace import Trace
+
+
+def run_asm(source: str, max_instructions: int | None = 100_000) -> tuple[Machine, Trace]:
+    """Assemble and run a snippet; returns the machine and its trace."""
+    machine = Machine(assemble(source))
+    trace = machine.run(max_instructions=max_instructions)
+    return machine, trace
+
+
+@pytest.fixture
+def tiny_loop_trace() -> Trace:
+    """A 10-iteration counting loop (useful for dataflow tests)."""
+    _, trace = run_asm(
+        """
+        li   t0, 0
+        li   t1, 10
+    loop:
+        addi t0, t0, 1
+        blt  t0, t1, loop
+        halt
+        """
+    )
+    return trace
+
+
+@pytest.fixture
+def repetitive_trace() -> Trace:
+    """Many identical passes over a small static table: high reuse."""
+    _, trace = run_asm(
+        """
+        .data
+    tab: .word 3 1 4 1 5 9 2 6
+        .text
+    main:
+        li   s0, 20          # passes
+    pass:
+        la   t0, tab
+        li   t1, 0
+        li   t2, 8
+    loop:
+        add  t3, t0, t1
+        lw   t4, 0(t3)
+        mul  t5, t4, t4
+        addi t1, t1, 1
+        blt  t1, t2, loop
+        subi s0, s0, 1
+        bgtz s0, pass
+        halt
+        """
+    )
+    return trace

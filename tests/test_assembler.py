@@ -1,0 +1,245 @@
+"""Assembler: syntax, label resolution, directives and pseudo-ops."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.vm.assembler import AssemblyError, assemble
+from repro.vm.program import DATA_BASE
+
+
+class TestBasics:
+    def test_empty_program(self):
+        prog = assemble("")
+        assert len(prog) == 0
+
+    def test_comments_ignored(self):
+        prog = assemble("# full line\n  nop  # trailing\n ; alt comment\n")
+        assert len(prog) == 1
+        assert prog.instructions[0].op is Opcode.NOP
+
+    def test_blank_lines(self):
+        prog = assemble("\n\n  nop\n\n")
+        assert len(prog) == 1
+
+    def test_program_name(self):
+        assert assemble("nop", name="xyz").name == "xyz"
+
+    def test_line_numbers_recorded(self):
+        prog = assemble("nop\nnop\nadd r1, r2, r3")
+        assert prog.instructions[2].line == 3
+
+
+class TestOperandForms:
+    def test_r3(self):
+        inst = assemble("add r1, r2, r3").instructions[0]
+        assert (inst.op, inst.rd, inst.rs1, inst.rs2) == (Opcode.ADD, 1, 2, 3)
+
+    def test_r2i(self):
+        inst = assemble("addi r1, r2, -5").instructions[0]
+        assert inst.imm == -5
+
+    def test_hex_immediate(self):
+        assert assemble("li r1, 0xff").instructions[0].imm == 255
+
+    def test_char_immediate(self):
+        assert assemble("li r1, 'a'").instructions[0].imm == ord("a")
+
+    def test_escaped_char_immediate(self):
+        assert assemble("li r1, '\\n'").instructions[0].imm == ord("\n")
+
+    def test_mov(self):
+        inst = assemble("mov r4, r5").instructions[0]
+        assert (inst.op, inst.rd, inst.rs1) == (Opcode.MOV, 4, 5)
+
+    def test_load_offset_base(self):
+        inst = assemble("lw r1, 4(r2)").instructions[0]
+        assert (inst.op, inst.rd, inst.rs1, inst.imm) == (Opcode.LW, 1, 2, 4)
+
+    def test_load_bare_base(self):
+        inst = assemble("lw r1, (r2)").instructions[0]
+        assert inst.imm == 0 and inst.rs1 == 2
+
+    def test_store_fields(self):
+        inst = assemble("sw r7, -2(r8)").instructions[0]
+        assert (inst.op, inst.rs2, inst.rs1, inst.imm) == (Opcode.SW, 7, 8, -2)
+
+    def test_load_data_label(self):
+        prog = assemble(".data\nv: .word 42\n.text\nlw r1, v")
+        inst = prog.instructions[0]
+        assert inst.rs1 == 0 and inst.imm == DATA_BASE
+
+    def test_load_label_offset_with_base(self):
+        prog = assemble(".data\nv: .word 1 2\n.text\nlw r1, v(r3)")
+        inst = prog.instructions[0]
+        assert inst.rs1 == 3 and inst.imm == DATA_BASE
+
+    def test_fp_forms(self):
+        prog = assemble("fadd f1, f2, f3\nfli f0, 1.5\nfsqrt f4, f5")
+        assert prog.instructions[0].op is Opcode.FADD
+        assert prog.instructions[1].imm == pytest.approx(1.5)
+        assert prog.instructions[2].op is Opcode.FSQRT
+
+    def test_fp_compare_into_int(self):
+        inst = assemble("flt r1, f2, f3").instructions[0]
+        assert (inst.rd, inst.rs1, inst.rs2) == (1, 2, 3)
+
+    def test_conversions(self):
+        prog = assemble("cvtif f1, r2\ncvtfi r3, f4")
+        assert prog.instructions[0].op is Opcode.CVTIF
+        assert prog.instructions[1].op is Opcode.CVTFI
+
+    def test_register_kind_mismatch(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, f2, r3")
+        with pytest.raises(AssemblyError):
+            assemble("fadd f1, r2, f3")
+
+
+class TestLabelsAndControl:
+    def test_branch_to_label(self):
+        prog = assemble("top: nop\nbeq r1, r2, top")
+        assert prog.instructions[1].imm == 0
+
+    def test_forward_reference(self):
+        prog = assemble("j end\nnop\nend: halt")
+        assert prog.instructions[0].imm == 2
+
+    def test_label_on_own_line(self):
+        prog = assemble("lbl:\n  nop\n  j lbl")
+        assert prog.text_labels["lbl"] == 0
+
+    def test_multiple_labels_one_target(self):
+        prog = assemble("a: b: nop")
+        assert prog.text_labels["a"] == prog.text_labels["b"] == 0
+
+    def test_jal_default_link(self):
+        inst = assemble("f: jal f").instructions[0]
+        assert inst.rd == 31  # ra
+
+    def test_jal_explicit_link(self):
+        inst = assemble("f: jal r5, f").instructions[0]
+        assert inst.rd == 5
+
+    def test_jr(self):
+        inst = assemble("jr ra").instructions[0]
+        assert inst.op is Opcode.JR and inst.rs1 == 31
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("x: nop\nx: nop")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("j nowhere")
+
+    def test_main_label_sets_entry(self):
+        prog = assemble("nop\nmain: halt")
+        assert prog.text_labels["main"] == 1
+
+
+class TestDirectives:
+    def test_word_values(self):
+        prog = assemble(".data\nv: .word 1 2 3")
+        assert [prog.data[DATA_BASE + i] for i in range(3)] == [1, 2, 3]
+
+    def test_float_values(self):
+        prog = assemble(".data\nf: .float 0.5 1.5")
+        assert prog.data[DATA_BASE] == pytest.approx(0.5)
+
+    def test_space_zero_fill(self):
+        prog = assemble(".data\nbuf: .space 4")
+        assert all(prog.data[DATA_BASE + i] == 0 for i in range(4))
+
+    def test_consecutive_allocations(self):
+        prog = assemble(".data\na: .word 1\nb: .word 2")
+        assert prog.data_labels["b"] == prog.data_labels["a"] + 1
+
+    def test_asciiz(self):
+        prog = assemble('.data\ns: .asciiz "hi"')
+        base = prog.data_labels["s"]
+        assert prog.data[base] == ord("h")
+        assert prog.data[base + 2] == 0
+
+    def test_word_outside_data_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble(".word 1")
+
+    def test_negative_space_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nb: .space -1")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError):
+            assemble(".bogus 1")
+
+    def test_text_after_data(self):
+        prog = assemble(".data\nv: .word 9\n.text\nlw r1, v\nhalt")
+        assert len(prog) == 2
+
+
+class TestPseudoOps:
+    def test_la(self):
+        prog = assemble(".data\nv: .word 0\n.text\nla r1, v")
+        inst = prog.instructions[0]
+        assert inst.op is Opcode.LI and inst.imm == DATA_BASE
+
+    def test_subi(self):
+        inst = assemble("subi r1, r2, 5").instructions[0]
+        assert inst.op is Opcode.ADDI and inst.imm == -5
+
+    def test_branch_zero_forms(self):
+        prog = assemble("t: beqz r1, t\nbnez r2, t\nbltz r3, t\nbgtz r4, t")
+        ops = [i.op for i in prog.instructions]
+        assert ops == [Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGT]
+        assert all(i.rs2 == 0 for i in prog.instructions)
+
+    def test_call_ret(self):
+        prog = assemble("f: call f\nret")
+        assert prog.instructions[0].op is Opcode.JAL
+        assert prog.instructions[0].rd == 31
+        assert prog.instructions[1].op is Opcode.JR
+
+    def test_push_expands_to_two(self):
+        prog = assemble("push r5")
+        assert len(prog) == 2
+        assert prog.instructions[0].op is Opcode.ADDI
+        assert prog.instructions[1].op is Opcode.SW
+
+    def test_pop_expands_to_two(self):
+        prog = assemble("pop r5")
+        assert prog.instructions[0].op is Opcode.LW
+        assert prog.instructions[1].op is Opcode.ADDI
+
+    def test_label_binds_to_expansion_start(self):
+        prog = assemble("loop: push r1\nj loop")
+        assert prog.text_labels["loop"] == 0
+        assert prog.instructions[2].imm == 0
+
+    def test_not_neg(self):
+        prog = assemble("not r1, r2\nneg r3, r4")
+        assert prog.instructions[0].op is Opcode.XORI
+        assert prog.instructions[0].imm == -1
+        assert prog.instructions[1].op is Opcode.SUB
+        assert prog.instructions[1].rs1 == 0
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r1, 12abc")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("nop\nbogus r1")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nadd r1, r2, r3")

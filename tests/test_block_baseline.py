@@ -1,0 +1,79 @@
+"""Basic-block reuse baseline (Huang & Lilja ablation)."""
+
+import pytest
+
+from repro.baselines.block import basic_block_spans
+from repro.baselines.ilr import instruction_reusability
+from repro.core.traces import maximal_reusable_spans
+from repro.isa.opcodes import Opcode
+from repro.vm.trace import DynInst
+
+
+def make_inst(pc, op=Opcode.ADD, next_pc=None, reads=((1, 0),)):
+    return DynInst(pc, op, tuple(reads), (), 1, pc + 1 if next_pc is None else next_pc)
+
+
+class TestBasicBlockSpans:
+    def test_flags_length_checked(self):
+        with pytest.raises(ValueError):
+            basic_block_spans([make_inst(0)], [True, True])
+
+    def test_branch_ends_block(self):
+        stream = [
+            make_inst(0),
+            make_inst(1, op=Opcode.BNE),
+            make_inst(2),
+            make_inst(3),
+        ]
+        spans = basic_block_spans(stream, [True] * 4)
+        assert (0, 2) in spans
+        assert (2, 4) in spans
+
+    def test_jump_ends_block(self):
+        stream = [make_inst(0), make_inst(1, op=Opcode.J, next_pc=5), make_inst(5)]
+        spans = basic_block_spans(stream, [True] * 3)
+        assert spans[0] == (0, 2)
+
+    def test_non_reusable_ends_span(self):
+        stream = [make_inst(i) for i in range(4)]
+        spans = basic_block_spans(stream, [True, False, True, True])
+        assert spans == [(0, 1), (2, 4)]
+
+    def test_discontinuous_next_pc_ends_block(self):
+        stream = [make_inst(0, next_pc=7), make_inst(7)]
+        spans = basic_block_spans(stream, [True, True])
+        assert spans == [(0, 1), (1, 2)]
+
+    def test_open_tail_closed(self):
+        stream = [make_inst(0), make_inst(1)]
+        assert basic_block_spans(stream, [True, True]) == [(0, 2)]
+
+    def test_no_reusable_instructions(self):
+        stream = [make_inst(0), make_inst(1)]
+        assert basic_block_spans(stream, [False, False]) == []
+
+    def test_blocks_refine_maximal_traces(self, repetitive_trace):
+        """Every basic-block span nests inside some maximal trace span,
+        so block reuse covers at most what trace reuse covers."""
+        flags = instruction_reusability(repetitive_trace).flags
+        trace_spans = [
+            (s.start, s.stop) for s in maximal_reusable_spans(repetitive_trace, flags)
+        ]
+        block_spans = basic_block_spans(repetitive_trace, flags)
+        covered_by_traces = set()
+        for start, stop in trace_spans:
+            covered_by_traces.update(range(start, stop))
+        block_covered = set()
+        for start, stop in block_spans:
+            block_covered.update(range(start, stop))
+        assert block_covered <= covered_by_traces
+
+    def test_block_spans_never_cross_control_transfers(self, repetitive_trace):
+        from repro.isa.opcodes import OpClass
+
+        flags = instruction_reusability(repetitive_trace).flags
+        for start, stop in basic_block_spans(repetitive_trace, flags):
+            for i in range(start, stop - 1):
+                inst = repetitive_trace[i]
+                assert inst.op_class not in (OpClass.BRANCH, OpClass.JUMP)
+                assert inst.next_pc == inst.pc + 1

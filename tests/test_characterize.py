@@ -1,0 +1,89 @@
+"""Workload characterisation."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.vm.trace import DynInst
+from repro.workloads.base import FP_SUITE, INT_SUITE
+from repro.workloads.characterize import (
+    WorkloadCharacter,
+    characterize,
+    suite_characterization,
+)
+
+from conftest import run_asm
+
+
+def make_inst(pc, op, reads=(), writes=(), next_pc=None):
+    return DynInst(pc, op, tuple(reads), tuple(writes), 1,
+                   pc + 1 if next_pc is None else next_pc)
+
+
+class TestCharacterize:
+    def test_empty(self):
+        ch = characterize([])
+        assert ch.dynamic_count == 0 and ch.memory_footprint == 0
+
+    def test_class_fractions_sum_sensibly(self):
+        _, trace = run_asm(
+            "li r1, 4\nlw r2, 0(r1)\nsw r2, 1(r1)\nbeqz r2, done\ndone: halt"
+        )
+        ch = characterize(trace)
+        total = (ch.int_alu_frac + ch.mul_div_frac + ch.load_frac
+                 + ch.store_frac + ch.branch_frac + ch.fp_frac)
+        assert total <= 1.0 + 1e-9
+        assert ch.load_frac == pytest.approx(1 / 5)
+        assert ch.store_frac == pytest.approx(1 / 5)
+
+    def test_branch_taken_rate(self):
+        stream = [
+            make_inst(0, Opcode.BEQ, next_pc=5),  # taken
+            make_inst(5, Opcode.BNE, next_pc=6),  # not taken
+        ]
+        ch = characterize(stream)
+        assert ch.branch_taken_rate == pytest.approx(0.5)
+
+    def test_memory_footprint_counts_distinct_words(self):
+        from repro.isa.registers import loc_mem
+
+        stream = [
+            make_inst(0, Opcode.SW, writes=((loc_mem(10), 1),)),
+            make_inst(1, Opcode.SW, writes=((loc_mem(10), 2),)),
+            make_inst(2, Opcode.LW, reads=((loc_mem(11), 0),), writes=((1, 0),)),
+        ]
+        assert characterize(stream).memory_footprint == 2
+
+    def test_basic_block_length(self):
+        # 4 instructions, one taken transfer -> avg block length 4
+        stream = [
+            make_inst(0, Opcode.ADD),
+            make_inst(1, Opcode.ADD),
+            make_inst(2, Opcode.ADD),
+            make_inst(3, Opcode.J, next_pc=0),
+        ]
+        assert characterize(stream).avg_basic_block == pytest.approx(4.0)
+
+    def test_top10_share_bounds(self, repetitive_trace):
+        ch = characterize(repetitive_trace)
+        assert 0.0 < ch.top10_pc_share <= 1.0
+
+    def test_static_count(self, tiny_loop_trace):
+        ch = characterize(tiny_loop_trace)
+        assert ch.static_count == len(tiny_loop_trace.static_pcs())
+
+
+class TestSuiteCharacterization:
+    def test_table_covers_suite(self):
+        fig = suite_characterization(["compress", "applu"], max_instructions=2000)
+        assert [row[0] for row in fig.rows] == ["compress", "applu"]
+        assert fig.value("applu", "suite") == "FP"
+
+    def test_fp_suite_has_fp_work(self):
+        fig = suite_characterization(FP_SUITE, max_instructions=2000)
+        for row in fig.rows:
+            assert row[fig.headers.index("fp%")] > 10.0, row[0]
+
+    def test_int_suite_has_no_fp(self):
+        fig = suite_characterization(INT_SUITE, max_instructions=2000)
+        for row in fig.rows:
+            assert row[fig.headers.index("fp%")] == 0.0, row[0]

@@ -1,0 +1,73 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["analyze", "compress"])
+        assert args.budget == 20_000 and args.window == 256
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "hydro2d" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "li", "--budget", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "500 dynamic instructions" in out
+        assert "INT_ALU" in out
+
+    def test_run_save_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl.gz"
+        assert main(["run", "li", "--budget", "300", "--save-trace", str(path)]) == 0
+        from repro.vm.tracefile import load_trace
+
+        assert len(load_trace(path)) == 300
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "compress", "--budget", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "reusable" in out
+        assert "tlr_speedup" in out
+
+    def test_rtm(self, capsys):
+        assert main(["rtm", "li", "--budget", "1500", "--sizes", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "ILR NE" in out and "invalidate" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "0:" in out and "halt" in out
+
+    def test_figures_small(self, capsys, monkeypatch):
+        # shrink the suite for test speed
+        import repro.cli as cli
+        from repro.exp.config import ExperimentConfig
+
+        original = cli.ExperimentConfig
+
+        def tiny(max_instructions):
+            return original(
+                max_instructions=min(max_instructions, 1500),
+                workloads=("compress", "applu"),
+            )
+
+        monkeypatch.setattr(cli, "ExperimentConfig", tiny)
+        assert main(["figures", "--budget", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Figure 8" in out

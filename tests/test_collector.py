@@ -1,0 +1,238 @@
+"""Trace-collection heuristics on crafted streams."""
+
+import pytest
+
+from repro.baselines.ilr import InstructionReuseBuffer
+from repro.core.rtm.collector import (
+    FixedLengthHeuristic,
+    ILRHeuristic,
+    TraceCollector,
+)
+from repro.core.rtm.memory import ReuseTraceMemory, RTMConfig
+from repro.core.traces import TraceLimits
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import loc_mem
+from repro.vm.trace import DynInst
+
+
+def make_inst(pc, reads=(), writes=(), next_pc=None):
+    return DynInst(
+        pc,
+        Opcode.ADD,
+        tuple(reads),
+        tuple(writes),
+        1,
+        pc + 1 if next_pc is None else next_pc,
+    )
+
+
+def rtm(traces_per_pc=4):
+    return ReuseTraceMemory(
+        RTMConfig("t", num_sets=4, ways=4, traces_per_pc=traces_per_pc)
+    )
+
+
+def buffer():
+    return InstructionReuseBuffer(total_entries=64, associativity=8)
+
+
+class TestHeuristicNames:
+    def test_ilr_names(self):
+        assert ILRHeuristic(expand=False).name == "ILR NE"
+        assert ILRHeuristic(expand=True).name == "ILR EXP"
+
+    def test_fixed_names(self):
+        assert FixedLengthHeuristic(4).name == "I4 EXP"
+        assert FixedLengthHeuristic(4).expand is True
+
+    def test_fixed_requires_positive(self):
+        with pytest.raises(ValueError):
+            FixedLengthHeuristic(0)
+
+
+class TestILRCollection:
+    def test_requires_buffer(self):
+        with pytest.raises(ValueError):
+            TraceCollector(ILRHeuristic(), rtm(), [])
+
+    def test_collects_reusable_run(self):
+        # stream: two identical passes over 3 instructions; the second
+        # pass is ILR-reusable and should be collected as one trace
+        stream = [make_inst(i, [(1, 0)], [(2, 1)]) for i in range(3)]
+        stream = stream + [make_inst(i, [(1, 0)], [(2, 1)]) for i in range(3)]
+        memory = rtm()
+        collector = TraceCollector(ILRHeuristic(), memory, stream, ilr_buffer=buffer())
+        for i, inst in enumerate(stream):
+            collector.on_fetch(i, inst)
+        collector.flush(len(stream))
+        entries = memory.stored_entries()
+        assert len(entries) == 1
+        assert entries[0].start_pc == 0
+        assert entries[0].length == 3
+        assert entries[0].next_pc == 3
+
+    def test_trace_ends_at_non_reusable(self):
+        # second pass, but instruction 1 reads a fresh value each time
+        def passes(v):
+            return [
+                make_inst(0, [(1, 0)], []),
+                make_inst(1, [(2, v)], []),
+                make_inst(2, [(3, 0)], []),
+            ]
+
+        stream = passes(0) + passes(1) + passes(2)
+        memory = rtm()
+        collector = TraceCollector(ILRHeuristic(), memory, stream, ilr_buffer=buffer())
+        for i, inst in enumerate(stream):
+            collector.on_fetch(i, inst)
+        collector.flush(len(stream))
+        # pc1 is never reusable, so no stored trace may include it: its
+        # read location (2) must not appear in any entry's live-ins
+        entries = memory.stored_entries()
+        assert entries
+        for e in entries:
+            assert 2 not in dict(e.inputs)
+            assert e.length <= 2  # runs are broken at every pc1
+
+    def test_io_limit_terminates_trace(self):
+        # each instruction reads a distinct memory word; the 4-mem-input
+        # limit forces trace termination
+        def one_pass():
+            return [
+                make_inst(i, [(loc_mem(i), 7)], [(1, i)]) for i in range(10)
+            ]
+
+        stream = one_pass() + one_pass()
+        memory = rtm(traces_per_pc=16)
+        collector = TraceCollector(
+            ILRHeuristic(), memory, stream, ilr_buffer=buffer(),
+            limits=TraceLimits(max_mem_inputs=4),
+        )
+        for i, inst in enumerate(stream):
+            collector.on_fetch(i, inst)
+        collector.flush(len(stream))
+        assert collector.limit_terminations >= 1
+        for e in memory.stored_entries():
+            assert e.mem_input_count <= 4
+
+    def test_inputs_record_live_ins_only(self):
+        # write then read of the same location: not a live-in
+        def one_pass():
+            return [
+                make_inst(0, [(1, 5)], [(2, 8)]),
+                make_inst(1, [(2, 8)], [(3, 9)]),
+            ]
+
+        stream = one_pass() + one_pass()
+        memory = rtm()
+        collector = TraceCollector(ILRHeuristic(), memory, stream, ilr_buffer=buffer())
+        for i, inst in enumerate(stream):
+            collector.on_fetch(i, inst)
+        collector.flush(len(stream))
+        (entry,) = memory.stored_entries()
+        assert dict(entry.inputs) == {1: 5}
+        assert dict(entry.outputs) == {2: 8, 3: 9}
+
+
+class TestFixedCollection:
+    def test_fixed_length_traces(self):
+        stream = [make_inst(i % 4, [(1, 0)], []) for i in range(12)]
+        memory = rtm(traces_per_pc=16)
+        collector = TraceCollector(FixedLengthHeuristic(4), memory, stream)
+        for i, inst in enumerate(stream):
+            collector.on_fetch(i, inst)
+        collector.flush(len(stream))
+        entries = memory.stored_entries()
+        assert entries and all(e.length == 4 for e in entries)
+
+    def test_partial_tail_discarded(self):
+        stream = [make_inst(i, [(1, 0)], []) for i in range(5)]
+        memory = rtm(traces_per_pc=16)
+        collector = TraceCollector(FixedLengthHeuristic(4), memory, stream)
+        for i, inst in enumerate(stream):
+            collector.on_fetch(i, inst)
+        collector.flush(len(stream))
+        assert all(e.length == 4 for e in memory.stored_entries())
+        assert collector.discarded_fragments == 1
+
+    def test_fixed_collects_any_instructions(self):
+        # unlike ILR heuristics, I(n) needs no reusability
+        stream = [make_inst(0, [(1, i)], []) for i in range(4)]
+        memory = rtm(traces_per_pc=16)
+        collector = TraceCollector(FixedLengthHeuristic(2), memory, stream)
+        for i, inst in enumerate(stream):
+            collector.on_fetch(i, inst)
+        collector.flush(len(stream))
+        assert len(memory.stored_entries()) == 2
+
+
+class TestExpansion:
+    def test_on_reuse_without_expansion_resets(self):
+        stream = [make_inst(i, [(1, 0)], []) for i in range(6)]
+        memory = rtm()
+        collector = TraceCollector(
+            ILRHeuristic(expand=False), memory, stream, ilr_buffer=buffer()
+        )
+        entry_stub = memory  # not used; craft a real entry below
+        from repro.core.rtm.entry import RTMEntry
+
+        entry = RTMEntry(start_pc=0, length=2, inputs=(), outputs=(), next_pc=2)
+        collector.on_reuse(0, entry)
+        # no expansion pending: fetching reusable instructions later
+        # starts a fresh trace, not an extension
+        assert collector._base is None
+
+    def test_expansion_extends_reused_trace(self):
+        # pass 1 trains the buffer; a reuse event at pass 2 start with
+        # reusable instructions following should store a longer trace
+        def one_pass():
+            return [make_inst(i, [(1, 0)], []) for i in range(4)]
+
+        stream = one_pass() + one_pass()
+        memory = rtm(traces_per_pc=16)
+        collector = TraceCollector(
+            ILRHeuristic(expand=True), memory, stream, ilr_buffer=buffer()
+        )
+        # train pass 1
+        for i in range(4):
+            collector.on_fetch(i, stream[i])
+        from repro.core.rtm.entry import RTMEntry
+
+        reused = RTMEntry(start_pc=0, length=2, inputs=((1, 0),), outputs=(), next_pc=2)
+        collector.on_reuse(4, reused)  # reuse covers indices 4..6
+        collector.on_fetch(6, stream[6])
+        collector.on_fetch(7, stream[7])
+        collector.flush(8)
+        lengths = [e.length for e in memory.stored_entries()]
+        assert 4 in lengths  # merged trace: reused 2 + extension 2
+
+    def test_consecutive_reuses_merge(self):
+        stream = [make_inst(i, [(1, 0)], []) for i in range(8)]
+        memory = rtm(traces_per_pc=16)
+        collector = TraceCollector(
+            ILRHeuristic(expand=True), memory, stream, ilr_buffer=buffer()
+        )
+        from repro.core.rtm.entry import RTMEntry
+
+        e1 = RTMEntry(start_pc=0, length=2, inputs=((1, 0),), outputs=(), next_pc=2)
+        e2 = RTMEntry(start_pc=2, length=2, inputs=((1, 0),), outputs=(), next_pc=4)
+        collector.on_reuse(0, e1)
+        collector.on_reuse(2, e2)
+        collector.on_fetch(4, stream[4])  # non-extension fetch closes nothing yet
+        collector.flush(8)
+        lengths = [e.length for e in memory.stored_entries()]
+        assert any(length >= 4 for length in lengths)
+
+    def test_fixed_expansion_grows_by_n(self):
+        stream = [make_inst(i, [(1, 0)], []) for i in range(8)]
+        memory = rtm(traces_per_pc=16)
+        collector = TraceCollector(FixedLengthHeuristic(2), memory, stream)
+        from repro.core.rtm.entry import RTMEntry
+
+        reused = RTMEntry(start_pc=0, length=2, inputs=(), outputs=(), next_pc=2)
+        collector.on_reuse(0, reused)
+        collector.on_fetch(2, stream[2])
+        collector.on_fetch(3, stream[3])
+        collector.flush(8)
+        lengths = [e.length for e in memory.stored_entries()]
+        assert 4 in lengths  # reused 2 + n=2 expansion

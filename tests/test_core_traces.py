@@ -1,0 +1,164 @@
+"""Trace model: liveness, spans, limits."""
+
+import pytest
+
+from repro.core.traces import (
+    TraceLimits,
+    UNLIMITED,
+    average_span_length,
+    compute_liveness,
+    maximal_reusable_spans,
+    span_from_range,
+    spans_from_ranges,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import loc_mem
+from repro.vm.trace import DynInst
+
+
+def make_inst(pc, reads, writes, op=Opcode.ADD):
+    return DynInst(pc, op, tuple(reads), tuple(writes), 1, pc + 1)
+
+
+class TestLiveness:
+    def test_read_before_write_is_live_in(self):
+        stream = [make_inst(0, [(1, 5)], [(2, 6)])]
+        live_ins, live_outs = compute_liveness(stream)
+        assert live_ins == ((1, 5),)
+        assert live_outs == ((2, 6),)
+
+    def test_read_after_write_not_live_in(self):
+        stream = [
+            make_inst(0, [], [(1, 9)]),
+            make_inst(1, [(1, 9)], [(2, 0)]),
+        ]
+        live_ins, live_outs = compute_liveness(stream)
+        assert live_ins == ()
+        assert dict(live_outs) == {1: 9, 2: 0}
+
+    def test_live_out_keeps_final_value(self):
+        stream = [
+            make_inst(0, [], [(1, 1)]),
+            make_inst(1, [], [(1, 2)]),
+        ]
+        _, live_outs = compute_liveness(stream)
+        assert live_outs == ((1, 2),)
+
+    def test_live_in_keeps_first_value(self):
+        # a location read, then written, then read again: its live-in
+        # value is the first read
+        stream = [
+            make_inst(0, [(1, 5)], [(1, 6)]),
+            make_inst(1, [(1, 6)], [(2, 0)]),
+        ]
+        live_ins, _ = compute_liveness(stream)
+        assert live_ins == ((1, 5),)
+
+    def test_order_preserved(self):
+        stream = [make_inst(0, [(3, 0), (1, 0)], [(9, 0), (7, 0)])]
+        live_ins, live_outs = compute_liveness(stream)
+        assert [loc for loc, _ in live_ins] == [3, 1]
+        assert [loc for loc, _ in live_outs] == [9, 7]
+
+    def test_memory_and_registers_mix(self):
+        mem = loc_mem(0x100)
+        stream = [make_inst(0, [(1, 2), (mem, 3)], [(mem, 4)])]
+        live_ins, live_outs = compute_liveness(stream)
+        assert (mem, 3) in live_ins
+        assert live_outs == ((mem, 4),)
+
+    def test_empty(self):
+        assert compute_liveness([]) == ((), ())
+
+
+class TestSpans:
+    def test_span_basic_fields(self):
+        stream = [make_inst(i, [(1, i)], [(1, i + 1)]) for i in range(4)]
+        span = span_from_range(stream, 1, 3)
+        assert span.length == 2
+        assert span.start_pc == 1
+        assert span.next_pc == 3
+        assert span.live_ins == ((1, 1),)
+
+    def test_span_counts(self):
+        mem = loc_mem(4)
+        stream = [make_inst(0, [(1, 0), (mem, 2)], [(2, 1), (mem, 3)])]
+        span = span_from_range(stream, 0, 1)
+        assert span.reg_input_count == 1
+        assert span.mem_input_count == 1
+        assert span.reg_output_count == 1
+        assert span.mem_output_count == 1
+        assert span.input_count == 2 and span.output_count == 2
+
+    def test_bad_range_raises(self):
+        stream = [make_inst(0, [], [])]
+        with pytest.raises(ValueError):
+            span_from_range(stream, 0, 0)
+        with pytest.raises(ValueError):
+            span_from_range(stream, 0, 5)
+
+    def test_spans_from_ranges(self):
+        stream = [make_inst(i, [], [(1, i)]) for i in range(6)]
+        spans = spans_from_ranges(stream, [(0, 2), (4, 6)])
+        assert [s.start for s in spans] == [0, 4]
+
+    def test_maximal_spans_partition_runs(self):
+        stream = [make_inst(i, [(1, 0)], [(1, 1)]) for i in range(7)]
+        flags = [False, True, True, False, True, False, True]
+        spans = maximal_reusable_spans(stream, flags)
+        assert [(s.start, s.stop) for s in spans] == [(1, 3), (4, 5), (6, 7)]
+
+    def test_maximal_spans_cover_exactly_reusable(self):
+        stream = [make_inst(i, [(1, 0)], [(1, 1)]) for i in range(10)]
+        flags = [i % 3 != 0 for i in range(10)]
+        spans = maximal_reusable_spans(stream, flags)
+        covered = set()
+        for s in spans:
+            covered.update(range(s.start, s.stop))
+        assert covered == {i for i, f in enumerate(flags) if f}
+
+    def test_all_reusable_single_span(self):
+        stream = [make_inst(i, [], [(1, i)]) for i in range(5)]
+        spans = maximal_reusable_spans(stream, [True] * 5)
+        assert len(spans) == 1 and spans[0].length == 5
+
+    def test_none_reusable_no_spans(self):
+        stream = [make_inst(i, [], []) for i in range(5)]
+        assert maximal_reusable_spans(stream, [False] * 5) == []
+
+    def test_flags_length_checked(self):
+        with pytest.raises(ValueError):
+            maximal_reusable_spans([make_inst(0, [], [])], [True, False])
+
+    def test_average_span_length(self):
+        stream = [make_inst(i, [], [(1, i)]) for i in range(6)]
+        spans = maximal_reusable_spans(stream, [True, True, False, True, True, True])
+        assert average_span_length(spans) == pytest.approx(2.5)
+        assert average_span_length([]) == 0.0
+
+
+class TestLimits:
+    def test_default_limits_match_paper(self):
+        limits = TraceLimits()
+        assert limits.max_reg_inputs == 8
+        assert limits.max_mem_inputs == 4
+        assert limits.max_reg_outputs == 8
+        assert limits.max_mem_outputs == 4
+
+    def test_admits(self):
+        limits = TraceLimits()
+        assert limits.admits(8, 4, 8, 4)
+        assert not limits.admits(9, 4, 8, 4)
+        assert not limits.admits(8, 5, 8, 4)
+        assert not limits.admits(8, 4, 9, 4)
+        assert not limits.admits(8, 4, 8, 5)
+
+    def test_unlimited(self):
+        assert UNLIMITED.admits(10**6, 10**6, 10**6, 10**6)
+
+    def test_span_within(self):
+        stream = [make_inst(0, [(i, 0) for i in range(1, 10)], [])]
+        span = span_from_range(stream, 0, 1)
+        assert span.reg_input_count == 9
+        assert not span.within(TraceLimits())
+        assert span.within(UNLIMITED)

@@ -1,0 +1,217 @@
+"""Dataflow timing model: hand-computed cases and reuse plans."""
+
+import pytest
+
+from repro.dataflow.model import DataflowModel, ReusePoint, TimingResult
+from repro.isa.opcodes import Opcode
+from repro.vm.trace import DynInst, Trace
+
+
+def make_inst(pc, reads, writes, latency, op=Opcode.ADD):
+    return DynInst(
+        pc=pc,
+        op=op,
+        reads=tuple(reads),
+        writes=tuple(writes),
+        latency=latency,
+        next_pc=pc + 1,
+    )
+
+
+def chain(n, latency=1, loc=1):
+    """n serially dependent instructions through one register."""
+    return [
+        make_inst(i, [(loc, i)], [(loc, i + 1)], latency) for i in range(n)
+    ]
+
+
+def independent(n, latency=1):
+    """n mutually independent instructions (distinct locations)."""
+    return [make_inst(i, [], [(i + 1, 0)], latency) for i in range(n)]
+
+
+class TestInfiniteWindow:
+    def test_empty_stream(self):
+        result = DataflowModel().analyze(Trace())
+        assert result.instruction_count == 0 and result.ipc == 0.0
+
+    def test_single_instruction(self):
+        result = DataflowModel().analyze([make_inst(0, [], [(1, 0)], 3)])
+        assert result.total_cycles == 3
+
+    def test_serial_chain_sums_latencies(self):
+        result = DataflowModel().analyze(chain(10, latency=2))
+        assert result.total_cycles == 20
+        assert result.ipc == pytest.approx(0.5)
+
+    def test_independent_instructions_overlap(self):
+        result = DataflowModel().analyze(independent(100, latency=4))
+        assert result.total_cycles == 4
+        assert result.ipc == pytest.approx(25.0)
+
+    def test_mixed_producers_max(self):
+        # c = a + b where a completes at 2, b at 8
+        stream = [
+            make_inst(0, [], [(1, 0)], 2),
+            make_inst(1, [], [(2, 0)], 8),
+            make_inst(2, [(1, 0), (2, 0)], [(3, 0)], 1),
+        ]
+        result = DataflowModel().analyze(stream)
+        assert result.total_cycles == 9
+
+    def test_memory_dependence_tracked(self):
+        mem = 1000
+        stream = [
+            make_inst(0, [], [(mem, 5)], 4, op=Opcode.SW),
+            make_inst(1, [(mem, 5)], [(1, 5)], 2, op=Opcode.LW),
+        ]
+        result = DataflowModel().analyze(stream)
+        assert result.total_cycles == 6
+
+    def test_war_and_waw_do_not_serialise(self):
+        # write after read / write after write: only true deps count
+        stream = [
+            make_inst(0, [], [(1, 0)], 10),
+            make_inst(1, [(1, 0)], [(2, 0)], 1),  # true dep: ends 11
+            make_inst(2, [], [(1, 1)], 1),  # WAW on loc 1: free to finish at 1
+            make_inst(3, [], [(2, 1)], 1),  # WAW on loc 2
+        ]
+        result = DataflowModel().analyze(stream)
+        assert result.total_cycles == 11
+
+
+class TestFiniteWindow:
+    def test_window_limits_overlap(self):
+        # 100 independent 4-cycle instructions, window of 10: roughly
+        # one window-full can be in flight at a time
+        inf = DataflowModel(None).analyze(independent(100, latency=4))
+        win = DataflowModel(10).analyze(independent(100, latency=4))
+        assert win.total_cycles > inf.total_cycles
+
+    def test_window_no_effect_on_serial_code(self):
+        inf = DataflowModel(None).analyze(chain(50, latency=2))
+        win = DataflowModel(4).analyze(chain(50, latency=2))
+        assert win.total_cycles == inf.total_cycles
+
+    def test_huge_window_equals_infinite(self):
+        stream = independent(50, latency=3)
+        inf = DataflowModel(None).analyze(stream)
+        win = DataflowModel(1_000).analyze(stream)
+        assert win.total_cycles == inf.total_cycles
+
+    def test_window_graduation_math(self):
+        # 4 independent 10-cycle instructions, window 2: i2 waits for
+        # grad(i0)=10, i3 waits for grad(i1)=10 -> both end at 20
+        win = DataflowModel(2).analyze(independent(4, latency=10))
+        assert win.total_cycles == 20
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DataflowModel(0)
+        with pytest.raises(ValueError):
+            DataflowModel(-5)
+
+    def test_ipc_ordering(self, tiny_loop_trace):
+        inf = DataflowModel(None).analyze(tiny_loop_trace)
+        win = DataflowModel(256).analyze(tiny_loop_trace)
+        assert win.ipc <= inf.ipc + 1e-9
+
+
+class TestReusePlans:
+    def test_plan_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DataflowModel().analyze(chain(3), reuse_plan=[None])
+
+    def test_ilr_reuse_shortens_latency(self):
+        # serial chain of 8-cycle ops, every link reusable at 1 cycle
+        stream = chain(10, latency=8)
+        plan = [ReusePoint(inputs=(1,), latency=1.0) for _ in stream]
+        base = DataflowModel().analyze(stream)
+        reused = DataflowModel().analyze(stream, plan)
+        assert base.total_cycles == 80
+        assert reused.total_cycles == 10
+        assert reused.reused_count == 10
+
+    def test_oracle_never_hurts(self):
+        # reuse latency worse than execution: oracle keeps normal time
+        stream = chain(10, latency=1)
+        plan = [ReusePoint(inputs=(1,), latency=5.0) for _ in stream]
+        base = DataflowModel().analyze(stream)
+        reused = DataflowModel().analyze(stream, plan)
+        assert reused.total_cycles == base.total_cycles
+        assert reused.reused_count == 0
+
+    def test_trace_reuse_collapses_chain(self):
+        # the paper's headline effect: a dependent chain completes all
+        # at once, exceeding the dataflow limit
+        stream = chain(100, latency=1)
+        point = ReusePoint(inputs=(1,), latency=1.0, fetch_free=True)
+        plan = [point] * len(stream)
+        base = DataflowModel().analyze(stream)
+        reused = DataflowModel().analyze(stream, plan)
+        assert base.total_cycles == 100
+        assert reused.total_cycles == 1
+
+    def test_two_spans_telescope(self):
+        # consecutive reused traces chain through their live-ins
+        stream = chain(100, latency=1)
+        p1 = ReusePoint(inputs=(1,), latency=1.0, fetch_free=True)
+        p2 = ReusePoint(inputs=(1,), latency=1.0, fetch_free=True)
+        plan = [p1] * 50 + [p2] * 50
+        reused = DataflowModel().analyze(stream, plan)
+        assert reused.total_cycles == 2
+
+    def test_fetch_free_ignores_window(self):
+        # 40 independent 4-cycle ops in a tiny window, all in one
+        # reusable trace with no live-ins: everything done in 1 cycle
+        stream = independent(40, latency=4)
+        point = ReusePoint(inputs=(), latency=1.0, fetch_free=True)
+        base = DataflowModel(4).analyze(stream)
+        reused = DataflowModel(4).analyze(stream, [point] * 40)
+        assert reused.total_cycles == 1
+        assert base.total_cycles > 10
+
+    def test_fetch_free_frees_window_for_others(self):
+        # reused trace instructions do not occupy window slots, so the
+        # trailing non-reused code is not stalled behind them
+        stream = independent(20, latency=4) + independent(20, latency=4)
+        point = ReusePoint(inputs=(), latency=1.0, fetch_free=True)
+        plan = [point] * 20 + [None] * 20
+        small_window = DataflowModel(4)
+        base = small_window.analyze(stream)
+        reused = small_window.analyze(stream, plan)
+        assert reused.total_cycles < base.total_cycles
+
+    def test_reuse_gate_evaluated_at_trace_entry(self):
+        # intra-trace writes must not push the trace's own reuse gate
+        stream = chain(10, latency=3)
+        point = ReusePoint(inputs=(1,), latency=2.0, fetch_free=True)
+        reused = DataflowModel().analyze(stream, [point] * 10)
+        assert reused.total_cycles == 2
+
+    def test_reuse_gated_by_live_in_producer(self):
+        # producer of the trace's live-in finishes at 10; trace adds 1
+        producer = make_inst(0, [], [(1, 0)], 10)
+        body = chain(5, latency=1)
+        stream = [producer] + body
+        point = ReusePoint(inputs=(1,), latency=1.0, fetch_free=True)
+        plan = [None] + [point] * 5
+        reused = DataflowModel().analyze(stream, plan)
+        assert reused.total_cycles == 11
+
+
+class TestTimingResult:
+    def test_speedup(self):
+        a = TimingResult(instruction_count=10, total_cycles=100.0, window_size=None)
+        b = TimingResult(instruction_count=10, total_cycles=50.0, window_size=None)
+        assert b.speedup_over(a) == pytest.approx(2.0)
+
+    def test_degenerate_speedup_raises(self):
+        bad = TimingResult(instruction_count=0, total_cycles=0.0, window_size=None)
+        good = TimingResult(instruction_count=1, total_cycles=1.0, window_size=None)
+        with pytest.raises(ValueError):
+            bad.speedup_over(good)
+
+    def test_ipc(self):
+        r = TimingResult(instruction_count=30, total_cycles=10.0, window_size=256)
+        assert r.ipc == pytest.approx(3.0)

@@ -1,0 +1,106 @@
+"""Disassembler: coverage of every opcode and assemble round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.disasm import disassemble, disassemble_instruction
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.vm.assembler import assemble
+
+
+class TestInstructionText:
+    def test_r3(self):
+        text = disassemble_instruction(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+        assert text == "add r1, r2, r3"
+
+    def test_load_store(self):
+        assert disassemble_instruction(
+            Instruction(Opcode.LW, rd=1, rs1=2, imm=-4)
+        ) == "lw r1, -4(r2)"
+        assert disassemble_instruction(
+            Instruction(Opcode.SW, rs2=5, rs1=6, imm=0)
+        ) == "sw r5, 0(r6)"
+
+    def test_fp_forms(self):
+        assert disassemble_instruction(
+            Instruction(Opcode.FLI, rd=3, imm=1.5)
+        ) == "fli f3, 1.5"
+        assert disassemble_instruction(
+            Instruction(Opcode.FSQRT, rd=1, rs1=2)
+        ) == "fsqrt f1, f2"
+
+    def test_every_opcode_disassembles(self):
+        for op in Opcode:
+            text = disassemble_instruction(Instruction(op, rd=1, rs1=2, rs2=3, imm=0))
+            assert isinstance(text, str) and text
+
+    def test_with_pcs(self):
+        out = disassemble([Instruction(Opcode.NOP)], with_pcs=True)
+        assert out.strip().startswith("0:")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "add r1, r2, r3\nhalt",
+            "li r1, -42\nmuli r2, r1, 3\nhalt",
+            "lw r1, 4(r2)\nsw r1, -1(r3)\nhalt",
+            "top: addi r1, r1, 1\nblt r1, r2, top\nhalt",
+            "fli f1, 2.5\nfadd f2, f1, f1\nfsw f2, 0(r1)\nhalt",
+            "jal r31, 2\nhalt\njr r31",
+            "cvtif f1, r2\ncvtfi r3, f1\nfle r4, f1, f1\nhalt",
+        ],
+    )
+    def test_text_round_trip(self, source):
+        program = assemble(source)
+        text = disassemble(program)
+        reassembled = assemble(text)
+        assert reassembled.instructions == program.instructions
+
+    @given(st.lists(st.sampled_from(list(Opcode)), min_size=1, max_size=20),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_random_round_trip(self, ops, rnd):
+        imm_ops = {
+            Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
+            Opcode.SRLI, Opcode.SRAI, Opcode.SLTI, Opcode.MULI, Opcode.LI,
+            Opcode.LW, Opcode.SW, Opcode.FLW, Opcode.FSW,
+        }
+        instructions = []
+        for pc, op in enumerate(ops):
+            if op in (Opcode.J, Opcode.JAL) or op in (
+                Opcode.BEQ, Opcode.BNE, Opcode.BLT,
+                Opcode.BGE, Opcode.BLE, Opcode.BGT,
+            ):
+                imm = rnd.randrange(0, len(ops))  # valid target
+            elif op is Opcode.FLI:
+                imm = float(rnd.randrange(-8, 8)) / 2
+            elif op in imm_ops:
+                imm = rnd.randrange(-64, 64)
+            else:
+                imm = 0  # the textual form does not carry an immediate
+            instructions.append(
+                Instruction(
+                    op,
+                    rd=rnd.randrange(0, 32),
+                    rs1=rnd.randrange(0, 32),
+                    rs2=rnd.randrange(0, 32),
+                    imm=imm,
+                )
+            )
+        text = disassemble(instructions)
+        reassembled = assemble(text)
+        assert len(reassembled.instructions) == len(instructions)
+        for got, want in zip(reassembled.instructions, instructions):
+            assert got.op is want.op
+            assert got.imm == want.imm
+
+    def test_workload_round_trips(self):
+        from repro.workloads.base import build_program
+
+        program = build_program("li")
+        reassembled = assemble(disassemble(program))
+        assert reassembled.instructions == program.instructions

@@ -1,0 +1,60 @@
+"""Extension experiments: window sweep, warm-up, prediction-vs-reuse."""
+
+import pytest
+
+from repro.exp.extensions import prediction_vs_reuse, warmup_sweep, window_sweep
+
+
+class TestWindowSweep:
+    def test_shape(self):
+        fig = window_sweep(["compress"], windows=(32, 128), max_instructions=2000)
+        assert [row[0] for row in fig.rows] == ["32", "128"]
+        assert all(row[2] >= 1.0 - 1e-9 for row in fig.rows)
+
+    def test_base_ipc_grows_with_window(self):
+        fig = window_sweep(
+            ["compress", "li"], windows=(32, 256), max_instructions=3000
+        )
+        assert fig.rows[1][1] >= fig.rows[0][1]  # base IPC monotone
+
+
+class TestWarmupSweep:
+    def test_reusability_grows_with_budget(self):
+        fig = warmup_sweep(["compress", "li"], budgets=(1000, 8000))
+        small = fig.rows[0][1]
+        large = fig.rows[1][1]
+        assert large > small
+
+    def test_labels(self):
+        fig = warmup_sweep(["li"], budgets=(500,))
+        assert fig.rows[0][0] == "500"
+
+
+class TestPredictionVsReuse:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return prediction_vs_reuse(["compress", "li"], max_instructions=3000)
+
+    def test_columns(self, fig):
+        assert fig.headers[0] == "program"
+        assert "stride_pred_pct" in fig.headers
+        assert "tlr_speedup" in fig.headers
+
+    def test_average_row(self, fig):
+        avg = fig.row_for("AVERAGE")
+        assert len(avg) == len(fig.headers)
+
+    def test_tlr_wins(self, fig):
+        # trace-level reuse dominates both predictors and ILR on these
+        # highly repetitive kernels
+        assert fig.value("AVERAGE", "tlr_speedup") >= fig.value(
+            "AVERAGE", "ilr_speedup"
+        )
+
+    def test_speedups_at_least_one(self, fig):
+        for col in ("lv_speedup", "stride_speedup", "ilr_speedup", "tlr_speedup"):
+            assert fig.value("AVERAGE", col) >= 1.0 - 1e-9
+
+    def test_coverage_percentages_valid(self, fig):
+        for col in ("lv_pred_pct", "stride_pred_pct", "reusable_pct"):
+            assert 0.0 <= fig.value("AVERAGE", col) <= 100.0

@@ -1,0 +1,145 @@
+"""Full-stack integration tests: every layer composed end to end."""
+
+import pytest
+
+from repro import (
+    ConstantReuseLatency,
+    DataflowModel,
+    FiniteReuseSimulator,
+    ILRHeuristic,
+    Machine,
+    PipelineModel,
+    RTMConfig,
+    instruction_reusability,
+    load_trace,
+    maximal_reusable_spans,
+    save_trace,
+    tlr_reuse_plan,
+)
+from repro.lang import compile_source
+from repro.lang.compiler import compile_module
+from repro.lang.memoize import memoize_functions
+
+KERNEL = """
+var grid[32]
+
+func smooth(passes) {
+    var p = 0
+    while (p < passes) {
+        var i = 1
+        while (i < 31) {
+            grid[i] = (grid[i - 1] + grid[i + 1]) / 2
+            i = i + 1
+        }
+        p = p + 1
+    }
+    return grid[16]
+}
+
+func main() {
+    var i = 0
+    while (i < 32) {
+        grid[i] = (i * 37) % 19
+        i = i + 1
+    }
+    return smooth(25)
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def kernel_trace():
+    machine = Machine(compile_source(KERNEL, name="smooth"))
+    trace = machine.run(max_instructions=40_000)
+    assert trace.halted
+    return trace
+
+
+class TestLangToAnalyses:
+    def test_rl_kernel_exhibits_reuse(self, kernel_trace):
+        reuse = instruction_reusability(kernel_trace)
+        # the grid converges, so later passes repeat
+        assert reuse.percent_reusable > 40.0
+
+    def test_rl_kernel_through_limit_study(self, kernel_trace):
+        reuse = instruction_reusability(kernel_trace)
+        spans = maximal_reusable_spans(kernel_trace, reuse.flags)
+        model = DataflowModel(window_size=256)
+        base = model.analyze(kernel_trace)
+        tlr = model.analyze(
+            kernel_trace, tlr_reuse_plan(kernel_trace, spans, ConstantReuseLatency(1.0))
+        )
+        assert tlr.speedup_over(base) >= 1.0
+
+    def test_rl_kernel_through_finite_engine_and_pipeline(self, kernel_trace):
+        sim = FiniteReuseSimulator(
+            RTMConfig("t", 64, 4, 8), ILRHeuristic(expand=True)
+        )
+        reuse = sim.run(kernel_trace)  # validated internally
+        model = PipelineModel()
+        base = model.simulate(kernel_trace)
+        timed = model.simulate(kernel_trace, reuse)
+        assert timed.committed_instructions == len(kernel_trace)
+        assert timed.total_cycles <= base.total_cycles
+
+    def test_trace_serialisation_preserves_analyses(self, kernel_trace, tmp_path):
+        path = tmp_path / "kernel.jsonl.gz"
+        save_trace(kernel_trace, path)
+        loaded = load_trace(path)
+        assert (
+            instruction_reusability(loaded).percent_reusable
+            == instruction_reusability(kernel_trace).percent_reusable
+        )
+        sim = FiniteReuseSimulator(RTMConfig("t", 64, 4, 8), ILRHeuristic(True))
+        assert (
+            sim.run(loaded).reused_instructions
+            == sim.run(kernel_trace).reused_instructions
+        )
+
+
+class TestMemoizationMeetsHardwareReuse:
+    def test_memoized_binary_is_still_reusable_by_hardware(self):
+        src = """
+        func fib(n) {
+            if (n < 2) { return n }
+            return fib(n - 1) + fib(n - 2)
+        }
+        func main() {
+            var r = 0
+            var round = 0
+            while (round < 30) {
+                r = fib(12)
+                round = round + 1
+            }
+            return r
+        }
+        """
+        module = memoize_functions(src, ["fib"])
+        machine = Machine(compile_module(module))
+        trace = machine.run(max_instructions=200_000)
+        assert trace.halted
+        # after round 1 the memo table answers immediately, and those
+        # lookups themselves repeat -> high hardware reusability on top
+        reuse = instruction_reusability(trace)
+        assert reuse.percent_reusable > 50.0
+
+
+class TestWorkloadsThroughEverything:
+    @pytest.mark.parametrize("name", ["compress", "applu"])
+    def test_pipeline_ipc_below_limit_ipc(self, name):
+        """The bounded core can never beat the dataflow limit."""
+        from repro.workloads.base import run_workload
+
+        trace = run_workload(name, max_instructions=4_000)
+        limit = DataflowModel(window_size=None).analyze(trace)
+        core = PipelineModel().simulate(trace)
+        assert core.ipc <= limit.ipc + 1e-9
+
+    def test_finite_reuse_below_limit_reuse(self):
+        from repro.workloads.base import run_workload
+
+        trace = run_workload("li", max_instructions=6_000)
+        limit = instruction_reusability(trace)
+        sim = FiniteReuseSimulator(RTMConfig("t", 128, 8, 8), ILRHeuristic(True))
+        result = sim.run(trace)
+        assert result.reused_instructions <= limit.reusable_count

@@ -1,0 +1,175 @@
+"""The valid-bit (invalidation) RTM scheme of section 3.3."""
+
+import pytest
+
+from repro.core.rtm.entry import RTMEntry
+from repro.core.rtm.invalidating import InvalidatingRTM
+from repro.core.rtm.memory import RTMConfig, ReuseTraceMemory
+from repro.core.rtm.collector import FixedLengthHeuristic, ILRHeuristic
+from repro.core.rtm.simulator import FiniteReuseSimulator
+
+from conftest import run_asm
+
+
+def entry(pc=0, length=3, inputs=((1, 5),), outputs=((2, 6),), next_pc=10):
+    return RTMEntry(
+        start_pc=pc, length=length, inputs=inputs, outputs=outputs, next_pc=next_pc
+    )
+
+
+def small():
+    return InvalidatingRTM(RTMConfig("t", num_sets=2, ways=2, traces_per_pc=2))
+
+
+class TestInvalidation:
+    def test_insert_then_hit_without_value_check(self):
+        rtm = small()
+        rtm.insert(entry())
+        # the valid-bit test does not look at the values at all
+        assert rtm.lookup(0, {}) is not None
+
+    def test_write_to_input_invalidates(self):
+        rtm = small()
+        rtm.insert(entry(inputs=((1, 5), (2, 6))))
+        rtm.on_write(2)
+        assert rtm.lookup(0, {}) is None
+        assert rtm.invalidations == 1
+        assert rtm.occupancy == 0
+
+    def test_same_value_write_still_invalidates(self):
+        # the scheme's conservatism: it cannot see the value
+        rtm = small()
+        rtm.insert(entry(inputs=((1, 5),)))
+        rtm.on_write(1)  # architecture wrote 5 again — doesn't matter
+        assert rtm.lookup(0, {1: 5}) is None
+
+    def test_write_to_unrelated_location_keeps_entry(self):
+        rtm = small()
+        rtm.insert(entry(inputs=((1, 5),)))
+        rtm.on_write(99)
+        assert rtm.lookup(0, {}) is not None
+
+    def test_entry_without_inputs_is_immortal(self):
+        rtm = small()
+        rtm.insert(entry(inputs=()))
+        for loc in range(10):
+            rtm.on_write(loc)
+        assert rtm.lookup(0, {}) is not None
+
+    def test_longest_valid_entry_wins(self):
+        rtm = small()
+        rtm.insert(entry(length=2, inputs=((1, 5),)))
+        rtm.insert(entry(length=5, inputs=((2, 6),)))
+        assert rtm.lookup(0, {}).length == 5
+        rtm.on_write(2)  # kill the long one
+        assert rtm.lookup(0, {}).length == 2
+
+    def test_eviction_unwatches(self):
+        rtm = InvalidatingRTM(RTMConfig("t", num_sets=1, ways=1, traces_per_pc=1))
+        rtm.insert(entry(pc=0, inputs=((1, 5),)))
+        rtm.insert(entry(pc=1, inputs=((1, 6),)))  # evicts pc 0's bucket
+        rtm.on_write(1)  # must not blow up on the stale watcher
+        assert rtm.occupancy == 0
+
+    def test_stats(self):
+        rtm = small()
+        rtm.insert(entry())
+        rtm.lookup(0, {})
+        rtm.lookup(1, {})
+        assert rtm.hits == 1 and rtm.lookups == 2
+        assert rtm.hit_rate() == pytest.approx(0.5)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            InvalidatingRTM(RTMConfig("t", num_sets=0, ways=1, traces_per_pc=1))
+
+
+@pytest.fixture(scope="module")
+def loopy_trace():
+    _, trace = run_asm(
+        """
+        .data
+    tab: .word 3 1 4 1 5 9 2 6
+        .text
+    main:
+        li   s0, 40
+    pass:
+        la   t0, tab
+        li   t1, 0
+        li   t2, 8
+    loop:
+        add  t3, t0, t1
+        lw   t4, 0(t3)
+        mul  t5, t4, t4
+        sw   t5, 16(t3)
+        addi t1, t1, 1
+        blt  t1, t2, loop
+        subi s0, s0, 1
+        bgtz s0, pass
+        halt
+        """,
+        max_instructions=4000,
+    )
+    return trace
+
+
+class TestInvalidatingSimulation:
+    def test_runs_validated(self, loopy_trace):
+        """validate=True proves the valid-bit invariant is sound: a hit
+        always corresponds to the actual dynamic path."""
+        sim = FiniteReuseSimulator(
+            RTMConfig("t", 8, 4, 4), ILRHeuristic(expand=True),
+            reuse_test="invalidate",
+        )
+        result = sim.run(loopy_trace)
+        assert result.total_instructions == len(loopy_trace)
+        assert result.rtm_invalidations > 0
+
+    def test_conservative_vs_comparing(self, loopy_trace):
+        """Invalidation can only lose reuse relative to value compare."""
+        config = RTMConfig("t", 8, 4, 4)
+        for heuristic in (ILRHeuristic(expand=True), FixedLengthHeuristic(4)):
+            compare = FiniteReuseSimulator(
+                config, heuristic, reuse_test="compare"
+            ).run(loopy_trace)
+            invalidate = FiniteReuseSimulator(
+                config, heuristic, reuse_test="invalidate"
+            ).run(loopy_trace)
+            assert (
+                invalidate.reused_instructions <= compare.reused_instructions
+            ), heuristic.name
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown reuse test"):
+            FiniteReuseSimulator(
+                RTMConfig("t", 8, 4, 4), ILRHeuristic(), reuse_test="magic"
+            )
+
+
+class TestIndexSchemes:
+    def test_hashed_index_spreads(self):
+        from repro.core.rtm.memory import hashed_index, pc_index
+
+        # PCs congruent mod 4 all collide under pc indexing but spread
+        # over the sets under hashing
+        pcs = [4 * i for i in range(16)]
+        direct = {pc_index(pc) % 4 for pc in pcs}
+        hashed = {hashed_index(pc) % 4 for pc in pcs}
+        assert len(direct) == 1
+        assert len(hashed) >= 3
+
+    def test_rtm_with_hashed_index(self):
+        from repro.core.rtm.memory import hashed_index
+
+        rtm = ReuseTraceMemory(
+            RTMConfig("t", num_sets=4, ways=1, traces_per_pc=2),
+            index_fn=hashed_index,
+        )
+        # 16 and 20 are congruent mod 4 but hash to different sets
+        assert hashed_index(16) % 4 != hashed_index(20) % 4
+        rtm.insert(entry(pc=16))
+        rtm.insert(entry(pc=20, inputs=((1, 5),)))
+        # under pc indexing these would collide in one way; hashing
+        # keeps both alive
+        assert rtm.lookup(16, {1: 5}) is not None
+        assert rtm.lookup(20, {1: 5}) is not None

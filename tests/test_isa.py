@@ -1,0 +1,148 @@
+"""ISA definition: opcodes, latencies and the location encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CLASS_LATENCY, LATENCY, Opcode, OpClass, latency_of, op_class
+from repro.isa.registers import (
+    FP_REG_BASE,
+    MEM_LOC_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_ALIASES,
+    loc_freg,
+    loc_is_freg,
+    loc_is_int_reg,
+    loc_is_mem,
+    loc_is_reg,
+    loc_mem,
+    loc_mem_addr,
+    loc_name,
+    loc_reg,
+    parse_register,
+)
+
+
+class TestOpcodes:
+    def test_every_opcode_has_a_class(self):
+        for op in Opcode:
+            assert isinstance(op_class(op), OpClass)
+
+    def test_every_opcode_has_a_latency(self):
+        for op in Opcode:
+            assert latency_of(op) >= 1
+            assert LATENCY[op] == CLASS_LATENCY[op_class(op)]
+
+    def test_alpha_21164_latency_structure(self):
+        # the relative latencies the paper's analysis depends on
+        assert latency_of(Opcode.ADD) == 1
+        assert latency_of(Opcode.LW) == 2
+        assert latency_of(Opcode.MUL) == 8
+        assert latency_of(Opcode.FADD) == 4
+        assert latency_of(Opcode.FMUL) == 4
+        assert latency_of(Opcode.FDIV) > latency_of(Opcode.FMUL)
+        assert latency_of(Opcode.FSQRT) > latency_of(Opcode.FDIV)
+
+    def test_memory_classes(self):
+        assert op_class(Opcode.LW) is OpClass.LOAD
+        assert op_class(Opcode.FLW) is OpClass.LOAD
+        assert op_class(Opcode.SW) is OpClass.STORE
+        assert op_class(Opcode.FSW) is OpClass.STORE
+
+    def test_control_classes(self):
+        assert op_class(Opcode.BEQ) is OpClass.BRANCH
+        assert op_class(Opcode.J) is OpClass.JUMP
+        assert op_class(Opcode.JAL) is OpClass.JUMP
+        assert op_class(Opcode.HALT) is OpClass.CONTROL
+
+
+class TestInstruction:
+    def test_latency_property(self):
+        inst = Instruction(Opcode.MUL, rd=1, rs1=2, rs2=3)
+        assert inst.latency == 8
+
+    def test_frozen(self):
+        inst = Instruction(Opcode.ADD)
+        with pytest.raises(AttributeError):
+            inst.rd = 5
+
+    def test_str(self):
+        text = str(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=7))
+        assert "addi" in text and "imm=7" in text
+
+
+class TestLocationEncoding:
+    def test_int_registers(self):
+        for i in range(NUM_INT_REGS):
+            loc = loc_reg(i)
+            assert loc_is_reg(loc) and loc_is_int_reg(loc)
+            assert not loc_is_freg(loc) and not loc_is_mem(loc)
+
+    def test_fp_registers(self):
+        for i in range(NUM_FP_REGS):
+            loc = loc_freg(i)
+            assert loc_is_reg(loc) and loc_is_freg(loc)
+            assert not loc_is_int_reg(loc) and not loc_is_mem(loc)
+
+    def test_fp_base_disjoint(self):
+        assert loc_freg(0) == FP_REG_BASE
+        assert loc_reg(NUM_INT_REGS - 1) < loc_freg(0) < loc_mem(0)
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_memory_roundtrip(self, addr):
+        loc = loc_mem(addr)
+        assert loc_is_mem(loc)
+        assert loc_mem_addr(loc) == addr
+
+    def test_mem_addr_on_register_raises(self):
+        with pytest.raises(ValueError):
+            loc_mem_addr(loc_reg(3))
+
+    def test_mem_base(self):
+        assert loc_mem(0) == MEM_LOC_BASE
+
+    def test_loc_names(self):
+        assert loc_name(loc_reg(5)) == "r5"
+        assert loc_name(loc_freg(2)) == "f2"
+        assert "mem[" in loc_name(loc_mem(16))
+
+    def test_loc_name_negative_raises(self):
+        with pytest.raises(ValueError):
+            loc_name(-1)
+
+
+class TestParseRegister:
+    def test_numeric_int(self):
+        assert parse_register("r7") == (False, 7)
+
+    def test_numeric_fp(self):
+        assert parse_register("f31") == (True, 31)
+
+    def test_aliases(self):
+        assert parse_register("sp") == (False, 29)
+        assert parse_register("ra") == (False, 31)
+        assert parse_register("zero") == (False, 0)
+        assert parse_register("t0") == (False, 8)
+        assert parse_register("a0") == (False, 4)
+
+    def test_dollar_prefix(self):
+        assert parse_register("$t1") == (False, 9)
+
+    def test_case_insensitive(self):
+        assert parse_register("R3") == (False, 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_register("r32")
+        with pytest.raises(ValueError):
+            parse_register("f99")
+
+    def test_garbage(self):
+        with pytest.raises(ValueError):
+            parse_register("notareg")
+
+    def test_all_aliases_valid(self):
+        for alias, idx in REG_ALIASES.items():
+            assert parse_register(alias) == (False, idx)

@@ -1,0 +1,299 @@
+"""RL compiler: generated code semantics, checked by execution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import CompileError, compile_source, compile_to_assembly
+from repro.vm.machine import Machine
+
+
+def run_main(source: str, max_instructions: int = 200_000):
+    """Compile, run, return (machine, main's return value)."""
+    machine = Machine(compile_source(source))
+    trace = machine.run(max_instructions=max_instructions)
+    assert trace.halted, "program did not terminate"
+    return machine, machine.regs[2]  # v0
+
+
+def returns(source_body: str) -> int:
+    _, value = run_main(f"func main() {{ {source_body} }}")
+    return value
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert returns("return 2 + 3 * 4") == 14
+        assert returns("return (2 + 3) * 4") == 20
+        assert returns("return 17 / 5") == 3
+        assert returns("return 17 % 5") == 2
+        assert returns("return -17 / 5") == -3  # truncates toward zero
+
+    def test_bitwise(self):
+        assert returns("return 12 & 10") == 8
+        assert returns("return 12 | 10") == 14
+        assert returns("return 12 ^ 10") == 6
+        assert returns("return 3 << 4") == 48
+        assert returns("return -16 >> 2") == -4  # arithmetic shift
+
+    def test_comparisons(self):
+        assert returns("return 3 < 5") == 1
+        assert returns("return 5 < 3") == 0
+        assert returns("return 3 <= 3") == 1
+        assert returns("return 3 > 5") == 0
+        assert returns("return 5 >= 5") == 1
+        assert returns("return 4 == 4") == 1
+        assert returns("return 4 != 4") == 0
+
+    def test_unary(self):
+        assert returns("return -(3 + 4)") == -7
+        assert returns("return !0") == 1
+        assert returns("return !7") == 0
+
+    def test_deep_expression_ok(self):
+        assert returns("return 1 + (2 + (3 + (4 + 5)))") == 15
+
+    def test_too_deep_expression_rejected(self):
+        nested = "1"
+        for _ in range(10):
+            nested = f"(1 + {nested})"
+        with pytest.raises(CompileError, match="too deep"):
+            compile_source(f"func main() {{ return {nested} }}")
+
+
+class TestVariablesAndControl:
+    def test_locals(self):
+        assert returns("var x = 5\nvar y = x * 2\nreturn x + y") == 15
+
+    def test_global_scalar(self):
+        source = """
+        var g = 10
+        func main() {
+            g = g + 5
+            return g
+        }
+        """
+        machine, value = run_main(source)
+        assert value == 15
+
+    def test_global_array_roundtrip(self):
+        source = """
+        var a[4] = {9, 8, 7, 6}
+        func main() {
+            a[2] = a[0] + a[3]
+            return a[2]
+        }
+        """
+        _, value = run_main(source)
+        assert value == 15
+
+    def test_if_else(self):
+        assert returns("if (1 < 2) { return 10 } else { return 20 }") == 10
+        assert returns("if (2 < 1) { return 10 } else { return 20 }") == 20
+
+    def test_else_if_chain(self):
+        source = """
+        func classify(x) {
+            if (x < 0) { return -1 }
+            else if (x == 0) { return 0 }
+            else { return 1 }
+        }
+        func main() { return classify(5) + classify(0) + classify(-9) * 10 }
+        """
+        _, value = run_main(source)
+        assert value == 1 + 0 - 10
+
+    def test_while_loop(self):
+        body = """
+        var i = 0
+        var s = 0
+        while (i < 10) {
+            s = s + i
+            i = i + 1
+        }
+        return s
+        """
+        assert returns(body) == 45
+
+    def test_nested_loops_with_inner_declaration(self):
+        # `var j` inside the loop body declares once (function scope)
+        # and re-initialises on every outer iteration
+        body = """
+        var i = 0
+        var s = 0
+        while (i < 5) {
+            var j = 0
+            while (j < 5) {
+                s = s + 1
+                j = j + 1
+            }
+            i = i + 1
+        }
+        return s
+        """
+        assert returns(body) == 25
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(CompileError, match="duplicate local"):
+            returns("var x = 1\nvar x = 2\nreturn x")
+
+    def test_single_declaration_nested_loops(self):
+        body = """
+        var i = 0
+        var j = 0
+        var s = 0
+        while (i < 5) {
+            j = 0
+            while (j < 5) {
+                s = s + 1
+                j = j + 1
+            }
+            i = i + 1
+        }
+        return s
+        """
+        assert returns(body) == 25
+
+    def test_implicit_return_zero(self):
+        assert returns("var x = 5") == 0
+
+
+class TestFunctions:
+    def test_call_with_args(self):
+        source = """
+        func add3(a, b, c) { return a + b + c }
+        func main() { return add3(1, 2, 3) }
+        """
+        assert run_main(source)[1] == 6
+
+    def test_recursion(self):
+        source = """
+        func fact(n) {
+            if (n <= 1) { return 1 }
+            return n * fact(n - 1)
+        }
+        func main() { return fact(10) }
+        """
+        assert run_main(source)[1] == 3628800
+
+    def test_mutual_recursion(self):
+        source = """
+        func is_even(n) {
+            if (n == 0) { return 1 }
+            return is_odd(n - 1)
+        }
+        func is_odd(n) {
+            if (n == 0) { return 0 }
+            return is_even(n - 1)
+        }
+        func main() { return is_even(10) + is_odd(10) * 10 }
+        """
+        assert run_main(source)[1] == 1
+
+    def test_call_inside_expression_preserves_registers(self):
+        source = """
+        func id(x) { return x }
+        func main() { return 100 + id(23) * id(2) }
+        """
+        assert run_main(source)[1] == 146
+
+    def test_fibonacci(self):
+        source = """
+        func fib(n) {
+            if (n < 2) { return n }
+            return fib(n - 1) + fib(n - 2)
+        }
+        func main() { return fib(12) }
+        """
+        assert run_main(source)[1] == 144
+
+
+class TestErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            compile_source("func main() { return nope }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            compile_source("func main() { return nope(1) }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError, match="takes 2"):
+            compile_source(
+                "func f(a, b) { return a }\nfunc main() { return f(1) }"
+            )
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError, match="no 'main'"):
+            compile_source("func helper() { return 0 }")
+
+    def test_main_with_params(self):
+        with pytest.raises(CompileError, match="takes no arguments"):
+            compile_source("func main(x) { return x }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError, match="duplicate function"):
+            compile_source("func f() { return 0 }\nfunc f() { return 1 }\n"
+                           "func main() { return 0 }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(CompileError, match="duplicate global"):
+            compile_source("var x\nvar x\nfunc main() { return 0 }")
+
+    def test_local_shadowing_global(self):
+        with pytest.raises(CompileError, match="shadows"):
+            compile_source("var x\nfunc main() { var x = 1\nreturn x }")
+
+    def test_scalar_local_indexed(self):
+        with pytest.raises(CompileError, match="scalar local"):
+            compile_source("func main() { var x = 1\nreturn x[0] }")
+
+    def test_array_without_index(self):
+        with pytest.raises(CompileError, match="needs an index"):
+            compile_source("var a[4]\nfunc main() { return a }")
+
+
+class TestAssemblyOutput:
+    def test_output_is_assembleable_text(self):
+        text = compile_to_assembly("func main() { return 1 + 2 }")
+        assert ".data" in text and "fn_main:" in text
+        from repro.vm.assembler import assemble
+
+        assemble(text)  # must not raise
+
+    def test_globals_named_in_output(self):
+        text = compile_to_assembly("var zz[3] = {4, 5}\nfunc main() { return 0 }")
+        assert "g_zz: .word 4 5 0" in text
+
+
+_LEAF = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def arith_exprs(draw, depth=0):
+    """Random RL arithmetic expression plus its Python value."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(_LEAF)
+        return (f"({value})" if value < 0 else str(value)), value
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left_text, left_val = draw(arith_exprs(depth=depth + 1))
+    right_text, right_val = draw(arith_exprs(depth=depth + 1))
+    value = {"+": left_val + right_val, "-": left_val - right_val,
+             "*": left_val * right_val}[op]
+    return f"({left_text} {op} {right_text})", value
+
+
+class TestDifferential:
+    @given(arith_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_random_expressions_match_python(self, case):
+        text, expected = case
+        _, value = run_main(f"func main() {{ return {text} }}")
+        assert value == expected
+
+    @given(st.integers(0, 30), st.integers(1, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_division_truncates_toward_zero(self, a, b):
+        # for a, b >= 0: trunc(-a / b) == -(a // b)
+        _, value = run_main(f"func main() {{ return (0 - {a}) / {b} }}")
+        assert value == -(a // b)

@@ -1,0 +1,150 @@
+"""RL language front end: lexer and parser."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Call,
+    If,
+    IndexRef,
+    IntLiteral,
+    Return,
+    Unary,
+    VarRef,
+    While,
+)
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_simple_tokens(self):
+        tokens = tokenize("var x = 5")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert kinds == [
+            ("keyword", "var"), ("ident", "x"), ("op", "="), ("int", "5"),
+            ("eof", ""),
+        ]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("# a comment\nvar x # trailing\n")
+        assert [t.text for t in tokens if t.kind != "eof"] == ["var", "x"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("var\nx\n\ny")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 4
+
+    def test_hex_literal(self):
+        assert tokenize("0xff")[0] == Token("int", "0xff", 1)
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("a <= b >> 2 != c")]
+        assert "<=" in texts and ">>" in texts and "!=" in texts
+
+    def test_malformed_number(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="'@'"):
+            tokenize("var @")
+
+
+class TestParser:
+    def _main_body(self, body: str):
+        module = parse(f"func main() {{ {body} }}")
+        return module.functions[0].body
+
+    def test_global_scalar(self):
+        module = parse("var x = 7\nfunc main() { return 0 }")
+        g = module.globals[0]
+        assert (g.name, g.size, g.initial) == ("x", 1, (7,))
+
+    def test_global_negative_initial(self):
+        module = parse("var x = -3\nfunc main() { return 0 }")
+        assert module.globals[0].initial == (-3,)
+
+    def test_global_array(self):
+        module = parse("var a[8] = {1, 2, 3}\nfunc main() { return 0 }")
+        g = module.globals[0]
+        assert g.size == 8 and g.initial == (1, 2, 3)
+
+    def test_array_too_many_initialisers(self):
+        with pytest.raises(ParseError, match="too many"):
+            parse("var a[2] = {1, 2, 3}\nfunc main() { return 0 }")
+
+    def test_zero_size_array(self):
+        with pytest.raises(ParseError, match="positive"):
+            parse("var a[0]\nfunc main() { return 0 }")
+
+    def test_precedence(self):
+        (stmt,) = self._main_body("return 1 + 2 * 3")
+        assert isinstance(stmt, Return)
+        expr = stmt.value
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        (stmt,) = self._main_body("return (1 + 2) * 3")
+        expr = stmt.value
+        assert expr.op == "*"
+        assert isinstance(expr.left, Binary) and expr.left.op == "+"
+
+    def test_comparison_chain_levels(self):
+        (stmt,) = self._main_body("return 1 < 2 == 1")
+        expr = stmt.value
+        assert expr.op == "==" and expr.left.op == "<"
+
+    def test_unary(self):
+        (stmt,) = self._main_body("return -x + !y")
+        expr = stmt.value
+        assert isinstance(expr.left, Unary) and expr.left.op == "-"
+        assert isinstance(expr.right, Unary) and expr.right.op == "!"
+
+    def test_call_and_index(self):
+        body = self._main_body("a[i] = f(1, g(2))")
+        (stmt,) = body
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.target, IndexRef)
+        assert isinstance(stmt.value, Call)
+        assert isinstance(stmt.value.args[1], Call)
+
+    def test_if_else_if(self):
+        (stmt,) = self._main_body("if (x) { y = 1 } else if (z) { y = 2 }")
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.else_body[0], If)
+
+    def test_while(self):
+        (stmt,) = self._main_body("while (i < 10) { i = i + 1 }")
+        assert isinstance(stmt, While)
+
+    def test_too_many_params(self):
+        with pytest.raises(ParseError, match="4 parameters"):
+            parse("func f(a, b, c, d, e) { return 0 }\nfunc main() { return 0 }")
+
+    def test_too_many_args(self):
+        with pytest.raises(ParseError, match="4 arguments"):
+            parse("func main() { return f(1, 2, 3, 4, 5) }")
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse("func main() { 1 = 2 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse("func main() { var x = 1")
+
+    def test_local_array_rejected(self):
+        with pytest.raises(ParseError, match="top level"):
+            parse("func main() { var a[4] }")
+
+    def test_garbage_at_top_level(self):
+        with pytest.raises(ParseError, match="top level"):
+            parse("return 0")

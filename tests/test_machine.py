@@ -1,0 +1,319 @@
+"""VM semantics: one behaviour per test, organised by opcode family."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import FP_REG_BASE, MEM_LOC_BASE
+from repro.vm.assembler import assemble
+from repro.vm.errors import VMError
+from repro.vm.machine import DEFAULT_STACK_TOP, Machine
+from repro.vm.program import DATA_BASE
+
+from conftest import run_asm
+
+
+class TestIntegerALU:
+    def test_add(self):
+        m, _ = run_asm("li r1, 5\nli r2, 7\nadd r3, r1, r2\nhalt")
+        assert m.regs[3] == 12
+
+    def test_sub_negative_result(self):
+        m, _ = run_asm("li r1, 5\nli r2, 7\nsub r3, r1, r2\nhalt")
+        assert m.regs[3] == -2
+
+    def test_logic_ops(self):
+        m, _ = run_asm(
+            "li r1, 12\nli r2, 10\nand r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\nhalt"
+        )
+        assert (m.regs[3], m.regs[4], m.regs[5]) == (8, 14, 6)
+
+    def test_shifts(self):
+        m, _ = run_asm(
+            "li r1, -8\nslli r2, r1, 1\nsrai r3, r1, 1\nli r4, 8\nsrli r5, r4, 2\nhalt"
+        )
+        assert m.regs[2] == -16
+        assert m.regs[3] == -4
+        assert m.regs[5] == 2
+
+    def test_srl_of_negative_is_logical(self):
+        m, _ = run_asm("li r1, -1\nsrli r2, r1, 1\nhalt")
+        assert m.regs[2] == (1 << 63) - 1
+
+    def test_slt_seq(self):
+        m, _ = run_asm(
+            "li r1, 3\nli r2, 5\nslt r3, r1, r2\nslt r4, r2, r1\nseq r5, r1, r1\nhalt"
+        )
+        assert (m.regs[3], m.regs[4], m.regs[5]) == (1, 0, 1)
+
+    def test_mul(self):
+        m, _ = run_asm("li r1, 6\nmuli r2, r1, 7\nhalt")
+        assert m.regs[2] == 42
+
+    def test_add_wraps_64_bits(self):
+        m, _ = run_asm(
+            "li r1, 0x7fffffffffffffff\nli r2, 1\nadd r3, r1, r2\nhalt"
+        )
+        assert m.regs[3] == -(1 << 63)
+
+    def test_div_truncates_toward_zero(self):
+        m, _ = run_asm("li r1, -7\nli r2, 2\ndiv r3, r1, r2\nrem r4, r1, r2\nhalt")
+        assert m.regs[3] == -3
+        assert m.regs[4] == -1
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(VMError, match="division by zero"):
+            run_asm("li r1, 1\nli r2, 0\ndiv r3, r1, r2\nhalt")
+
+    def test_rem_by_zero_raises(self):
+        with pytest.raises(VMError, match="remainder"):
+            run_asm("li r1, 1\nli r2, 0\nrem r3, r1, r2\nhalt")
+
+    def test_r0_reads_zero(self):
+        m, _ = run_asm("li r1, 9\nadd r2, r0, r0\nhalt")
+        assert m.regs[2] == 0
+
+    def test_r0_writes_discarded(self):
+        m, trace = run_asm("li r0, 99\nhalt")
+        assert m.regs[0] == 0
+        assert trace[0].writes == ()
+
+    def test_li_mov(self):
+        m, _ = run_asm("li r1, 123\nmov r2, r1\nhalt")
+        assert m.regs[2] == 123
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        m, _ = run_asm("li r1, 100\nli r2, 55\nsw r2, 0(r1)\nlw r3, 0(r1)\nhalt")
+        assert m.regs[3] == 55
+        assert m.memory[100] == 55
+
+    def test_offset_addressing(self):
+        m, _ = run_asm("li r1, 200\nli r2, 7\nsw r2, 3(r1)\nlw r3, 3(r1)\nhalt")
+        assert m.memory[203] == 7 and m.regs[3] == 7
+
+    def test_uninitialised_reads_zero(self):
+        m, _ = run_asm("li r1, 5000\nlw r2, 0(r1)\nhalt")
+        assert m.regs[2] == 0
+
+    def test_data_segment_initialised(self):
+        m, _ = run_asm(".data\nv: .word 42\n.text\nmain: lw r1, v\nhalt")
+        assert m.regs[1] == 42
+
+    def test_negative_address_raises(self):
+        with pytest.raises(VMError, match="negative"):
+            run_asm("li r1, -5\nlw r2, 0(r1)\nhalt")
+
+    def test_fp_store_load(self):
+        m, _ = run_asm("fli f1, 2.5\nli r1, 300\nfsw f1, 0(r1)\nflw f2, 0(r1)\nhalt")
+        assert m.fregs[2] == pytest.approx(2.5)
+
+    def test_lw_of_float_truncates(self):
+        m, _ = run_asm(".data\nf: .float 3.9\n.text\nmain: lw r1, f\nhalt")
+        assert m.regs[1] == 3
+
+    def test_stack_pointer_initialised(self):
+        machine = Machine(assemble("halt"))
+        assert machine.regs[29] == DEFAULT_STACK_TOP
+
+    def test_push_pop_roundtrip(self):
+        m, _ = run_asm("li r1, 77\npush r1\nli r1, 0\npop r2\nhalt")
+        assert m.regs[2] == 77
+        assert m.regs[29] == DEFAULT_STACK_TOP
+
+
+class TestControlFlow:
+    def test_branch_taken(self):
+        m, _ = run_asm("li r1, 1\nbeqz r0, skip\nli r1, 2\nskip: halt")
+        assert m.regs[1] == 1
+
+    def test_branch_not_taken(self):
+        m, _ = run_asm("li r1, 1\nbnez r0, skip\nli r1, 2\nskip: halt")
+        assert m.regs[1] == 2
+
+    def test_all_branch_conditions(self):
+        source = """
+        li r1, 3
+        li r2, 5
+        li r9, 0
+        blt r1, r2, a
+        j end
+    a:  addi r9, r9, 1
+        bgt r2, r1, b
+        j end
+    b:  addi r9, r9, 1
+        ble r1, r1, c
+        j end
+    c:  addi r9, r9, 1
+        bge r2, r2, d
+        j end
+    d:  addi r9, r9, 1
+    end: halt
+        """
+        m, _ = run_asm(source)
+        assert m.regs[9] == 4
+
+    def test_loop_counts(self):
+        m, _ = run_asm(
+            "li t0, 0\nli t1, 10\nloop: addi t0, t0, 1\nblt t0, t1, loop\nhalt"
+        )
+        assert m.regs[8] == 10
+
+    def test_call_ret(self):
+        m, _ = run_asm(
+            """
+        main:
+            li   a0, 5
+            call double
+            mov  s0, v0
+            halt
+        double:
+            add  v0, a0, a0
+            ret
+            """
+        )
+        assert m.regs[16] == 10
+
+    def test_nested_calls_with_stack(self):
+        m, _ = run_asm(
+            """
+        main:
+            li   a0, 3
+            call f
+            halt
+        f:  # returns a0 * 2 + 1 via a helper
+            push ra
+            call g
+            addi v0, v0, 1
+            pop  ra
+            ret
+        g:
+            add  v0, a0, a0
+            ret
+            """
+        )
+        assert m.regs[2] == 7
+
+    def test_jr_computed_target(self):
+        m, _ = run_asm("li r1, 3\njr r1\nhalt\nli r2, 9\nhalt")
+        assert m.regs[2] == 9
+
+    def test_pc_out_of_range_raises(self):
+        with pytest.raises(VMError, match="outside program"):
+            run_asm("li r1, 100\njr r1\nhalt")
+
+    def test_halt_stops(self):
+        m, trace = run_asm("halt\nnop")
+        assert m.halted and len(trace) == 1
+
+    def test_step_after_halt_raises(self):
+        machine = Machine(assemble("halt"))
+        machine.step()
+        with pytest.raises(VMError, match="halted"):
+            machine.step()
+
+    def test_budget_truncates(self):
+        machine = Machine(assemble("loop: j loop"))
+        trace = machine.run(max_instructions=25)
+        assert len(trace) == 25
+        assert trace.truncated and not trace.halted
+
+    def test_entry_at_main(self):
+        m, _ = run_asm("li r1, 1\nhalt\nmain: li r1, 2\nhalt")
+        assert m.regs[1] == 2
+
+
+class TestFloatingPoint:
+    def test_arith(self):
+        m, _ = run_asm(
+            "fli f1, 3.0\nfli f2, 2.0\nfadd f3, f1, f2\nfsub f4, f1, f2\n"
+            "fmul f5, f1, f2\nfdiv f6, f1, f2\nhalt"
+        )
+        assert m.fregs[3] == pytest.approx(5.0)
+        assert m.fregs[4] == pytest.approx(1.0)
+        assert m.fregs[5] == pytest.approx(6.0)
+        assert m.fregs[6] == pytest.approx(1.5)
+
+    def test_sqrt_abs_neg_mov(self):
+        m, _ = run_asm(
+            "fli f1, 9.0\nfsqrt f2, f1\nfli f3, -2.0\nfabs f4, f3\n"
+            "fneg f5, f1\nfmov f6, f1\nhalt"
+        )
+        assert m.fregs[2] == pytest.approx(3.0)
+        assert m.fregs[4] == pytest.approx(2.0)
+        assert m.fregs[5] == pytest.approx(-9.0)
+        assert m.fregs[6] == pytest.approx(9.0)
+
+    def test_fdiv_by_zero_raises(self):
+        with pytest.raises(VMError, match="floating division"):
+            run_asm("fli f1, 1.0\nfli f2, 0.0\nfdiv f3, f1, f2\nhalt")
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(VMError, match="square root"):
+            run_asm("fli f1, -1.0\nfsqrt f2, f1\nhalt")
+
+    def test_comparisons(self):
+        m, _ = run_asm(
+            "fli f1, 1.0\nfli f2, 2.0\nflt r1, f1, f2\nfle r2, f2, f2\n"
+            "feq r3, f1, f2\nhalt"
+        )
+        assert (m.regs[1], m.regs[2], m.regs[3]) == (1, 1, 0)
+
+    def test_conversions(self):
+        m, _ = run_asm("li r1, 7\ncvtif f1, r1\nfli f2, 3.9\ncvtfi r2, f2\nhalt")
+        assert m.fregs[1] == pytest.approx(7.0)
+        assert m.regs[2] == 3
+
+
+class TestTraceRecords:
+    def test_alu_reads_and_writes(self):
+        _, trace = run_asm("li r1, 5\nli r2, 7\nadd r3, r1, r2\nhalt")
+        add = trace[2]
+        assert add.op is Opcode.ADD
+        assert add.reads == ((1, 5), (2, 7))
+        assert add.writes == ((3, 12),)
+
+    def test_load_records_memory_read(self):
+        _, trace = run_asm(".data\nv: .word 9\n.text\nmain: lw r1, v\nhalt")
+        load = trace[0]
+        assert (MEM_LOC_BASE + DATA_BASE, 9) in load.reads
+        assert load.writes == ((1, 9),)
+
+    def test_store_records_memory_write(self):
+        _, trace = run_asm("li r1, 50\nli r2, 3\nsw r2, 0(r1)\nhalt")
+        store = trace[2]
+        assert store.writes == ((MEM_LOC_BASE + 50, 3),)
+
+    def test_fp_locations_offset(self):
+        _, trace = run_asm("fli f1, 1.0\nfmov f2, f1\nhalt")
+        mov = trace[1]
+        assert mov.reads == ((FP_REG_BASE + 1, 1.0),)
+        assert mov.writes == ((FP_REG_BASE + 2, 1.0),)
+
+    def test_branch_next_pc(self):
+        _, trace = run_asm("beqz r0, target\nnop\ntarget: halt")
+        assert trace[0].next_pc == 2
+
+    def test_fallthrough_next_pc(self):
+        _, trace = run_asm("nop\nhalt")
+        assert trace[0].next_pc == 1
+
+    def test_latencies_attached(self):
+        _, trace = run_asm("li r1, 2\nmul r2, r1, r1\nhalt")
+        assert trace[1].latency == 8
+
+    def test_determinism(self):
+        src = ".data\nv: .word 3\n.text\nmain: lw r1, v\nmuli r2, r1, 5\nhalt"
+        _, t1 = run_asm(src)
+        _, t2 = run_asm(src)
+        assert [repr(d) for d in t1] == [repr(d) for d in t2]
+
+    def test_histograms(self):
+        _, trace = run_asm("li r1, 1\nli r2, 2\nadd r3, r1, r2\nhalt")
+        hist = trace.opcode_histogram()
+        assert hist[Opcode.LI] == 2 and hist[Opcode.ADD] == 1
+        assert sum(trace.class_histogram().values()) == len(trace)
+
+    def test_static_pcs(self):
+        _, trace = run_asm("loop: nop\nnop\nj loop", max_instructions=30)
+        assert trace.static_pcs() == {0, 1, 2}

@@ -1,0 +1,112 @@
+"""Software memoization transform (section 2's software reuse)."""
+
+import pytest
+
+from repro.lang.compiler import CompileError, compile_module, compile_source
+from repro.lang.memoize import memoize_functions
+from repro.vm.machine import Machine
+
+FIB = """
+func fib(n) {
+    if (n < 2) { return n }
+    return fib(n - 1) + fib(n - 2)
+}
+func main() { return fib(%d) }
+"""
+
+
+def run(program, budget=2_000_000):
+    machine = Machine(program)
+    trace = machine.run(max_instructions=budget)
+    assert trace.halted
+    return machine, trace
+
+
+class TestMemoizeTransform:
+    def test_preserves_result(self):
+        src = FIB % 15
+        _, plain_trace = run(compile_source(src))
+        machine, memo_trace = run(compile_module(memoize_functions(src, ["fib"])))
+        assert machine.regs[2] == 610
+
+    def test_collapses_recursion(self):
+        src = FIB % 16
+        plain_machine, plain_trace = run(compile_source(src))
+        memo_machine, memo_trace = run(
+            compile_module(memoize_functions(src, ["fib"]))
+        )
+        assert memo_machine.regs[2] == plain_machine.regs[2]
+        assert len(memo_trace) < len(plain_trace) / 5
+
+    def test_non_recursive_function(self):
+        src = """
+        func square(x) { return x * x }
+        func main() {
+            var s = 0
+            var i = 0
+            while (i < 30) {
+                s = s + square(i % 5)
+                i = i + 1
+            }
+            return s
+        }
+        """
+        plain_machine, plain_trace = run(compile_source(src))
+        memo_machine, memo_trace = run(
+            compile_module(memoize_functions(src, ["square"]))
+        )
+        assert memo_machine.regs[2] == plain_machine.regs[2]
+
+    def test_negative_arguments_safe(self):
+        src = """
+        func double(x) { return x + x }
+        func main() { return double(0 - 21) }
+        """
+        machine, _ = run(compile_module(memoize_functions(src, ["double"])))
+        assert machine.regs[2] == -42
+
+    def test_table_collisions_still_correct(self):
+        # a 2-entry table collides constantly; results must not change
+        src = """
+        func inc(x) { return x + 1 }
+        func main() {
+            var s = 0
+            var i = 0
+            while (i < 40) {
+                s = s + inc(i)
+                i = i + 1
+            }
+            return s
+        }
+        """
+        machine, _ = run(compile_module(memoize_functions(src, ["inc"],
+                                                          table_size=2)))
+        assert machine.regs[2] == sum(i + 1 for i in range(40))
+
+    def test_memoizing_two_functions(self):
+        src = """
+        func a(x) { return x * 3 }
+        func b(x) { return a(x) + 1 }
+        func main() { return b(5) + b(5) }
+        """
+        machine, _ = run(compile_module(memoize_functions(src, ["a", "b"])))
+        assert machine.regs[2] == 32
+
+
+class TestMemoizeErrors:
+    def test_unknown_function(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            memoize_functions("func main() { return 0 }", ["nope"])
+
+    def test_multi_argument_rejected(self):
+        src = "func add(a, b) { return a + b }\nfunc main() { return add(1, 2) }"
+        with pytest.raises(CompileError, match="single-argument"):
+            memoize_functions(src, ["add"])
+
+    def test_main_rejected(self):
+        with pytest.raises(CompileError, match="cannot memoize 'main'"):
+            memoize_functions("func main() { return 0 }", ["main"])
+
+    def test_bad_table_size(self):
+        with pytest.raises(ValueError):
+            memoize_functions(FIB % 5, ["fib"], table_size=0)

@@ -1,0 +1,73 @@
+"""Odds and ends of the public API surface."""
+
+import pytest
+
+from repro import __version__
+from repro.exp.report import render, render_markdown
+from repro.exp.figures import FigureResult
+from repro.vm.assembler import assemble
+from repro.vm.machine import Machine, run_source
+from repro.workloads.base import get_workload, run_workload
+
+
+class TestVersion:
+    def test_version_matches_pyproject(self):
+        import pathlib
+        import re
+
+        text = pathlib.Path(__file__).parent.parent.joinpath(
+            "pyproject.toml"
+        ).read_text()
+        match = re.search(r'^version = "(.+)"$', text, re.M)
+        assert match and match.group(1) == __version__
+
+
+class TestMachineInspection:
+    def test_read_helpers(self):
+        machine = Machine(assemble("li r5, 9\nfli f3, 2.5\nli r1, 77\n"
+                                   "sw r5, 0(r1)\nhalt"))
+        machine.run()
+        assert machine.register(5) == 9
+        assert machine.fp_register(3) == pytest.approx(2.5)
+        assert machine.read_memory(77) == 9
+        assert machine.read_memory(12345) == 0
+        assert machine.instruction_count == 5
+
+    def test_run_source_convenience(self):
+        trace = run_source("li r1, 1\nhalt", name="snippet")
+        assert trace.program_name == "snippet" and trace.halted
+
+
+class TestWorkloadScaling:
+    @pytest.mark.parametrize("name", ["compress", "gcc"])
+    def test_scale_grows_static_data(self, name):
+        small = get_workload(name).program(scale=1)
+        large = get_workload(name).program(scale=2)
+        assert len(large.data) > len(small.data)
+
+    def test_scaled_kernels_still_run(self):
+        trace = run_workload("compress", scale=2, max_instructions=2_000)
+        assert len(trace) == 2_000
+
+
+class TestReportRendering:
+    def test_render_includes_all_rows(self):
+        fig = FigureResult(
+            figure_id="x", title="T", headers=["a", "b"],
+            rows=[["r1", 1.0], ["r2", 2.0]],
+        )
+        text = render(fig)
+        assert "r1" in text and "r2" in text and text.startswith("T")
+
+    def test_markdown_escapes_nothing_needed(self):
+        fig = FigureResult(
+            figure_id="x", title="T", headers=["a"], rows=[["v"]]
+        )
+        md = render_markdown(fig)
+        assert md.count("|") >= 6
+
+    def test_figure_result_value_type_preserved(self):
+        fig = FigureResult(
+            figure_id="x", title="T", headers=["a", "b"], rows=[["k", 1.25]]
+        )
+        assert fig.value("k", "b") == 1.25

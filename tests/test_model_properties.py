@@ -1,0 +1,148 @@
+"""Property-based invariants of the timing model and reuse analyses."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ilr import ilr_reuse_plan, instruction_reusability
+from repro.core.reuse_tlr import ConstantReuseLatency, tlr_reuse_plan
+from repro.core.traces import maximal_reusable_spans
+from repro.dataflow.model import DataflowModel
+from repro.isa.opcodes import Opcode
+from repro.vm.trace import DynInst
+
+
+@st.composite
+def dyn_streams(draw):
+    """Random dependence-realistic streams over a few locations.
+
+    Values written are a function of values read, so re-executions of
+    the same (pc, inputs) produce the same outputs — the determinism
+    the reuse machinery assumes (and real traces satisfy).
+    """
+    n_locs = draw(st.integers(min_value=2, max_value=5))
+    n = draw(st.integers(min_value=1, max_value=60))
+    values = [0] * n_locs
+    stream = []
+    for i in range(n):
+        pc = draw(st.integers(0, 7))
+        src1 = draw(st.integers(0, n_locs - 1))
+        src2 = draw(st.integers(0, n_locs - 1))
+        dst = draw(st.integers(0, n_locs - 1))
+        latency = draw(st.sampled_from([1, 1, 2, 4, 8]))
+        a, b = values[src1], values[src2]
+        result = (a + b + pc) % 7  # deterministic in (pc, inputs)
+        values[dst] = result
+        stream.append(
+            DynInst(
+                pc=pc,
+                op=Opcode.ADD,
+                reads=((src1, a), (src2, b)),
+                writes=((dst, result),),
+                latency=latency,
+                next_pc=pc + 1,
+            )
+        )
+    return stream
+
+
+@given(dyn_streams(), st.integers(min_value=1, max_value=16))
+@settings(max_examples=150, deadline=None)
+def test_finite_window_never_faster_than_infinite(stream, window):
+    inf = DataflowModel(None).analyze(stream)
+    win = DataflowModel(window).analyze(stream)
+    assert win.total_cycles >= inf.total_cycles - 1e-9
+
+
+@given(dyn_streams(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_window_monotone_in_size(stream, window):
+    small = DataflowModel(window).analyze(stream)
+    large = DataflowModel(window * 2).analyze(stream)
+    assert large.total_cycles <= small.total_cycles + 1e-9
+
+
+@given(dyn_streams())
+@settings(max_examples=150, deadline=None)
+def test_ilr_oracle_never_slows_down(stream):
+    flags = instruction_reusability(stream).flags
+    plan = ilr_reuse_plan(stream, flags, 1.0)
+    base = DataflowModel(None).analyze(stream)
+    reused = DataflowModel(None).analyze(stream, plan)
+    assert reused.total_cycles <= base.total_cycles + 1e-9
+
+
+@given(dyn_streams())
+@settings(max_examples=150, deadline=None)
+def test_tlr_oracle_never_slows_down_infinite_window(stream):
+    flags = instruction_reusability(stream).flags
+    spans = maximal_reusable_spans(stream, flags)
+    plan = tlr_reuse_plan(stream, spans, ConstantReuseLatency(1.0))
+    base = DataflowModel(None).analyze(stream)
+    reused = DataflowModel(None).analyze(stream, plan)
+    assert reused.total_cycles <= base.total_cycles + 1e-9
+
+
+@given(dyn_streams(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_ilr_speedup_monotone_in_reuse_latency(stream, latency):
+    flags = instruction_reusability(stream).flags
+    model = DataflowModel(None)
+    fast = model.analyze(stream, ilr_reuse_plan(stream, flags, float(latency)))
+    slow = model.analyze(stream, ilr_reuse_plan(stream, flags, float(latency + 1)))
+    assert fast.total_cycles <= slow.total_cycles + 1e-9
+
+
+@given(dyn_streams())
+@settings(max_examples=100, deadline=None)
+def test_spans_cover_reusable_instructions_exactly(stream):
+    flags = instruction_reusability(stream).flags
+    spans = maximal_reusable_spans(stream, flags)
+    covered = set()
+    for s in spans:
+        for i in range(s.start, s.stop):
+            assert flags[i]
+            assert i not in covered  # spans are disjoint
+            covered.add(i)
+    assert len(covered) == sum(flags)
+
+
+@given(dyn_streams())
+@settings(max_examples=100, deadline=None)
+def test_spans_are_maximal(stream):
+    flags = instruction_reusability(stream).flags
+    spans = maximal_reusable_spans(stream, flags)
+    for s in spans:
+        if s.start > 0:
+            assert not flags[s.start - 1]
+        if s.stop < len(stream):
+            assert not flags[s.stop]
+
+
+@given(dyn_streams())
+@settings(max_examples=100, deadline=None)
+def test_liveness_invariant_live_in_not_written_before_read(stream):
+    flags = instruction_reusability(stream).flags
+    for span in maximal_reusable_spans(stream, flags):
+        body = stream[span.start : span.stop]
+        live_in_locs = {loc for loc, _ in span.live_ins}
+        written: set[int] = set()
+        for inst in body:
+            for loc, _ in inst.reads:
+                if loc in live_in_locs and loc not in written:
+                    live_in_locs.discard(loc)  # first read seen before any write
+            for loc, _ in inst.writes:
+                written.add(loc)
+        # every live-in must have been read before written
+        assert not live_in_locs
+
+
+@given(dyn_streams())
+@settings(max_examples=100, deadline=None)
+def test_analysis_does_not_mutate_stream(stream):
+    snapshot = [repr(d) for d in stream]
+    flags = instruction_reusability(stream).flags
+    spans = maximal_reusable_spans(stream, flags)
+    DataflowModel(8).analyze(stream, tlr_reuse_plan(stream, spans, ConstantReuseLatency(1.0)))
+    assert [repr(d) for d in stream] == snapshot

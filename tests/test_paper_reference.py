@@ -1,0 +1,37 @@
+"""Shape checks against the paper's published numbers."""
+
+import pytest
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.paper_reference import PAPER, shape_checks, shape_report
+from repro.exp.runner import collect_profiles
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    # the full suite at a modest budget: shape checks need every kernel
+    return collect_profiles(ExperimentConfig(max_instructions=8_000))
+
+
+class TestPaperConstants:
+    def test_reference_values_present(self):
+        assert PAPER["fig6_avg_w256"] == pytest.approx(3.63)
+        assert PAPER["fig3_min_program"] == "applu"
+        assert PAPER["fig9_4k_reuse_pct"] == pytest.approx(25.0)
+
+
+class TestShapeChecks:
+    def test_all_targeted_shapes_hold(self, profiles):
+        checks = shape_checks(profiles)
+        failing = [c.claim for c in checks if not c.holds]
+        assert not failing, f"shape regressions: {failing}"
+
+    def test_check_count(self, profiles):
+        assert len(shape_checks(profiles)) >= 8
+
+    def test_report_renderable(self, profiles):
+        from repro.exp.report import render
+
+        text = render(shape_report(profiles))
+        assert "hydro2d" in text
+        assert "NO" not in text

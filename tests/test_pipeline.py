@@ -1,0 +1,192 @@
+"""The cycle-level pipeline model."""
+
+import pytest
+
+from repro.core.rtm.collector import ILRHeuristic
+from repro.core.rtm.memory import RTMConfig
+from repro.core.rtm.simulator import FiniteReuseSimulator
+from repro.isa.opcodes import Opcode
+from repro.pipeline import PipelineConfig, PipelineModel
+from repro.pipeline.config import FU_PRESET_21164ish
+from repro.vm.trace import DynInst
+
+from conftest import run_asm
+
+
+def make_inst(pc, reads, writes, latency=1, op=Opcode.ADD):
+    return DynInst(pc, op, tuple(reads), tuple(writes), latency, pc + 1)
+
+
+def chain(n, latency=1):
+    return [make_inst(i, [(1, i)], [(1, i + 1)], latency) for i in range(n)]
+
+
+def independent(n, latency=1, op=Opcode.ADD):
+    return [make_inst(i, [], [(i + 2, 0)], latency, op) for i in range(n)]
+
+
+WIDE = PipelineConfig(fetch_width=8, issue_width=8, commit_width=8, rob_size=128)
+
+
+class TestConfig:
+    def test_bad_widths(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(fetch_width=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(rob_size=0)
+
+    def test_missing_fu_class(self):
+        units = dict(FU_PRESET_21164ish)
+        from repro.isa.opcodes import OpClass
+
+        del units[OpClass.FP_DIV]
+        with pytest.raises(ValueError):
+            PipelineConfig(functional_units=units)
+
+
+class TestBasicTiming:
+    def test_empty_stream(self):
+        result = PipelineModel().simulate([])
+        assert result.committed_instructions == 0
+
+    def test_serial_chain_bound_by_latency(self):
+        result = PipelineModel(WIDE).simulate(chain(50, latency=1))
+        # one instruction per cycle plus pipeline fill
+        assert 50 <= result.total_cycles <= 60
+        assert result.committed_instructions == 50
+
+    def test_independent_instructions_reach_width(self):
+        result = PipelineModel(WIDE).simulate(independent(400))
+        # 8-wide machine with 2 INT ALUs: ALU issue is the bottleneck
+        assert result.ipc == pytest.approx(2.0, rel=0.1)
+
+    def test_fetch_width_bounds_ipc(self):
+        narrow = PipelineConfig(fetch_width=1, issue_width=4, commit_width=4)
+        result = PipelineModel(narrow).simulate(independent(200))
+        assert result.ipc <= 1.0 + 1e-9
+
+    def test_rob_size_limits_overlap(self):
+        # long-latency leader blocks commit; a small ROB stalls fetch
+        stream = [make_inst(0, [], [(1, 0)], 30, op=Opcode.FSQRT)]
+        stream += independent(100)
+        small = PipelineModel(PipelineConfig(rob_size=4)).simulate(stream)
+        large = PipelineModel(PipelineConfig(rob_size=128)).simulate(stream)
+        assert large.total_cycles < small.total_cycles
+
+    def test_unpipelined_divides_serialise(self):
+        divs = independent(8, latency=18, op=Opcode.FDIV)
+        result = PipelineModel(WIDE).simulate(divs)
+        # one FP divide unit, unpipelined: at least 8 * 18 cycles
+        assert result.total_cycles >= 8 * 18
+
+    def test_pipelined_fp_overlaps(self):
+        muls = independent(8, latency=4, op=Opcode.FMUL)
+        result = PipelineModel(WIDE).simulate(muls)
+        # one FP multiply pipe, fully pipelined: ~8 + 4 cycles
+        assert result.total_cycles <= 20
+
+    def test_dependence_through_memory(self):
+        store = make_inst(0, [], [(1000, 5)], 1, op=Opcode.SW)
+        load = make_inst(1, [(1000, 5)], [(1, 5)], 2, op=Opcode.LW)
+        user = make_inst(2, [(1, 5)], [(2, 6)], 1)
+        result = PipelineModel(WIDE).simulate([store, load, user])
+        assert result.total_cycles >= 5  # serial through memory
+
+    def test_waw_not_confused(self):
+        # two writers of loc 1; the reader depends on the *second*
+        slow = make_inst(0, [], [(1, 0)], 30, op=Opcode.FSQRT)
+        fast = make_inst(1, [], [(1, 1)], 1)
+        reader = make_inst(2, [(1, 1)], [(2, 2)], 1)
+        result = PipelineModel(WIDE).simulate([slow, fast, reader])
+        # the reader need not wait for the 30-cycle writer to produce
+        # its value, only in-order commit holds the machine: the slow
+        # op still gates total cycles, but not more than that
+        assert result.total_cycles <= 35
+
+    def test_real_program_runs(self):
+        _, trace = run_asm(
+            "li t0, 0\nli t1, 50\nloop: addi t0, t0, 1\nblt t0, t1, loop\nhalt"
+        )
+        result = PipelineModel().simulate(trace)
+        assert result.committed_instructions == len(trace)
+        assert 0 < result.ipc <= 4.0
+
+
+class TestReuseIntegration:
+    @pytest.fixture(scope="class")
+    def loopy(self):
+        _, trace = run_asm(
+            """
+            .data
+        tab: .word 3 1 4 1 5 9 2 6
+            .text
+        main:
+            li   s0, 40
+        pass:
+            la   t0, tab
+            li   t1, 0
+            li   t2, 8
+        loop:
+            add  t3, t0, t1
+            lw   t4, 0(t3)
+            mul  t5, t4, t4
+            sw   t5, 16(t3)
+            addi t1, t1, 1
+            blt  t1, t2, loop
+            subi s0, s0, 1
+            bgtz s0, pass
+            halt
+            """,
+            max_instructions=4000,
+        )
+        return trace
+
+    def _reuse(self, trace):
+        sim = FiniteReuseSimulator(
+            RTMConfig("t", 16, 4, 8), ILRHeuristic(expand=True)
+        )
+        return sim.run(trace)
+
+    def test_reuse_commits_all_instructions(self, loopy):
+        reuse = self._reuse(loopy)
+        result = PipelineModel().simulate(loopy, reuse)
+        assert result.committed_instructions == len(loopy)
+        assert result.reused_instructions == reuse.reused_instructions
+        assert result.reuse_events == reuse.reuse_events
+
+    def test_reuse_speeds_up_the_pipeline(self, loopy):
+        reuse = self._reuse(loopy)
+        assert reuse.reused_instructions > 0
+        model = PipelineModel()
+        base = model.simulate(loopy)
+        with_reuse = model.simulate(loopy, reuse)
+        assert with_reuse.total_cycles < base.total_cycles
+
+    def test_trace_slot_needs_no_functional_unit(self):
+        # a reused trace of pure divides beats executing them
+        divs = [
+            make_inst(i, [(1, 0)], [(2, 1)], 18, op=Opcode.FDIV) for i in range(10)
+        ]
+        from repro.core.rtm.entry import RTMEntry
+        from repro.core.rtm.simulator import FiniteReuseResult
+
+        reuse = FiniteReuseResult(
+            heuristic_name="x",
+            rtm_name="x",
+            total_instructions=10,
+            reused_instructions=10,
+            reuse_events=1,
+            reused_ranges=[(0, 10)],
+            reused_entries=[
+                RTMEntry(
+                    start_pc=0, length=10, inputs=((1, 0),), outputs=((2, 1),),
+                    next_pc=10,
+                )
+            ],
+        )
+        model = PipelineModel(WIDE)
+        base = model.simulate(divs)
+        reused = model.simulate(divs, reuse)
+        assert base.total_cycles >= 180
+        assert reused.total_cycles <= 5
+        assert reused.committed_instructions == 10

@@ -1,0 +1,101 @@
+"""Property-based invariants of the cycle-level pipeline model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.pipeline import PipelineConfig, PipelineModel
+from repro.dataflow.model import DataflowModel
+from repro.vm.trace import DynInst
+
+
+@st.composite
+def pipeline_streams(draw):
+    """Random dependence-realistic streams with varied op classes."""
+    n_locs = draw(st.integers(min_value=2, max_value=5))
+    n = draw(st.integers(min_value=1, max_value=80))
+    ops = [
+        (Opcode.ADD, 1), (Opcode.ADD, 1), (Opcode.MUL, 8), (Opcode.LW, 2),
+        (Opcode.SW, 1), (Opcode.FADD, 4), (Opcode.FDIV, 18),
+    ]
+    values = [0] * n_locs
+    stream = []
+    for i in range(n):
+        op, latency = draw(st.sampled_from(ops))
+        src1 = draw(st.integers(0, n_locs - 1))
+        src2 = draw(st.integers(0, n_locs - 1))
+        dst = draw(st.integers(0, n_locs - 1))
+        a, b = values[src1], values[src2]
+        result = (a + b + i) % 5
+        values[dst] = result
+        stream.append(
+            DynInst(
+                pc=i % 9,
+                op=op,
+                reads=((src1, a), (src2, b)),
+                writes=((dst, result),),
+                latency=latency,
+                next_pc=i % 9 + 1,
+            )
+        )
+    return stream
+
+
+@given(pipeline_streams())
+@settings(max_examples=80, deadline=None)
+def test_all_instructions_commit(stream):
+    result = PipelineModel().simulate(stream)
+    assert result.committed_instructions == len(stream)
+    assert result.committed_slots == len(stream)
+
+
+@given(pipeline_streams())
+@settings(max_examples=80, deadline=None)
+def test_cycles_bounded_below_by_widths(stream):
+    config = PipelineConfig()
+    result = PipelineModel(config).simulate(stream)
+    # can never commit faster than commit_width per cycle, and every
+    # instruction spends at least fetch+issue+latency cycles in flight
+    assert result.total_cycles >= len(stream) / config.commit_width
+    if stream:
+        assert result.total_cycles >= 2  # fetch cycle + execute cycle
+
+
+@given(pipeline_streams())
+@settings(max_examples=60, deadline=None)
+def test_wider_machine_never_slower(stream):
+    narrow = PipelineModel(
+        PipelineConfig(fetch_width=2, issue_width=2, commit_width=2, rob_size=16)
+    ).simulate(stream)
+    wide = PipelineModel(
+        PipelineConfig(fetch_width=8, issue_width=8, commit_width=8, rob_size=128)
+    ).simulate(stream)
+    assert wide.total_cycles <= narrow.total_cycles
+
+
+@given(pipeline_streams())
+@settings(max_examples=60, deadline=None)
+def test_bigger_rob_never_slower(stream):
+    small = PipelineModel(PipelineConfig(rob_size=8)).simulate(stream)
+    large = PipelineModel(PipelineConfig(rob_size=256)).simulate(stream)
+    assert large.total_cycles <= small.total_cycles
+
+
+@given(pipeline_streams())
+@settings(max_examples=60, deadline=None)
+def test_pipeline_never_beats_dataflow_limit(stream):
+    """The bounded core is a refinement of the limit model: with the
+    same latencies it can only be slower than pure dataflow."""
+    limit = DataflowModel(window_size=None).analyze(stream)
+    core = PipelineModel(
+        PipelineConfig(fetch_width=8, issue_width=8, commit_width=8, rob_size=256)
+    ).simulate(stream)
+    assert core.total_cycles >= limit.total_cycles - 1e-9
+
+
+@given(pipeline_streams())
+@settings(max_examples=40, deadline=None)
+def test_deterministic(stream):
+    a = PipelineModel().simulate(stream)
+    b = PipelineModel().simulate(stream)
+    assert a.total_cycles == b.total_cycles

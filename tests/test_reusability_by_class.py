@@ -1,0 +1,46 @@
+"""Per-operation-class reusability breakdown."""
+
+import pytest
+
+from repro.baselines.ilr import instruction_reusability, reusability_by_class
+
+from conftest import run_asm
+
+
+class TestReusabilityByClass:
+    def test_totals_partition_the_stream(self, repetitive_trace):
+        breakdown = reusability_by_class(repetitive_trace)
+        assert sum(total for _h, total, _p in breakdown.values()) == len(
+            repetitive_trace
+        )
+
+    def test_hits_sum_to_reusable_count(self, repetitive_trace):
+        reuse = instruction_reusability(repetitive_trace)
+        breakdown = reusability_by_class(repetitive_trace, reuse.flags)
+        assert sum(h for h, _t, _p in breakdown.values()) == reuse.reusable_count
+
+    def test_percentages_consistent(self, repetitive_trace):
+        for hits, total, pct in reusability_by_class(repetitive_trace).values():
+            assert pct == pytest.approx(100.0 * hits / total)
+            assert 0 <= hits <= total
+
+    def test_flags_length_checked(self, tiny_loop_trace):
+        with pytest.raises(ValueError):
+            reusability_by_class(tiny_loop_trace, [True])
+
+    def test_memory_class_present_for_memory_code(self):
+        _, trace = run_asm(
+            "li r1, 100\nli r2, 3\nloop: sw r2, 0(r1)\nlw r3, 0(r1)\n"
+            "subi r2, r2, 1\nbgtz r2, loop\nhalt"
+        )
+        breakdown = reusability_by_class(trace)
+        assert "LOAD" in breakdown and "STORE" in breakdown
+
+    def test_evolving_values_not_reusable(self):
+        # the loop counter's values never repeat: INT_ALU reuse is low
+        _, trace = run_asm(
+            "li r1, 0\nloop: addi r1, r1, 1\nslti r2, r1, 50\nbnez r2, loop\nhalt"
+        )
+        breakdown = reusability_by_class(trace)
+        hits, total, pct = breakdown["INT_ALU"]
+        assert pct < 10.0

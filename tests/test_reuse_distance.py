@@ -1,0 +1,120 @@
+"""Reuse-distance analysis (Mattson stack distances over signatures)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ilr import instruction_reusability
+from repro.baselines.reuse_distance import (
+    _Fenwick,
+    capacity_hit_curve,
+    signature_reuse_distances,
+)
+from repro.isa.opcodes import Opcode
+from repro.vm.trace import DynInst
+
+
+def sig_inst(pc, value):
+    return DynInst(pc, Opcode.ADD, ((1, value),), ((2, 0),), 1, pc + 1)
+
+
+class TestFenwick:
+    def test_prefix_sums(self):
+        tree = _Fenwick(8)
+        tree.add(0, 1)
+        tree.add(3, 2)
+        tree.add(7, 5)
+        assert tree.prefix(1) == 1
+        assert tree.prefix(4) == 3
+        assert tree.prefix(8) == 8
+
+    def test_range_sum(self):
+        tree = _Fenwick(8)
+        for i in range(8):
+            tree.add(i, 1)
+        assert tree.range_sum(2, 5) == 3
+        assert tree.range_sum(0, 8) == 8
+
+    def test_negative_delta(self):
+        tree = _Fenwick(4)
+        tree.add(2, 1)
+        tree.add(2, -1)
+        assert tree.prefix(4) == 0
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive(self, indices):
+        tree = _Fenwick(16)
+        naive = [0] * 16
+        for i in indices:
+            tree.add(i, 1)
+            naive[i] += 1
+        for lo in range(0, 16, 3):
+            for hi in range(lo, 17, 4):
+                assert tree.range_sum(lo, hi) == sum(naive[lo:hi])
+
+
+class TestSignatureDistances:
+    def test_first_occurrence_minus_one(self):
+        result = signature_reuse_distances([sig_inst(0, 1)])
+        assert result.distances == [-1]
+        assert result.reusable_count == 0
+
+    def test_immediate_repeat_distance_zero(self):
+        stream = [sig_inst(0, 1), sig_inst(0, 1)]
+        assert signature_reuse_distances(stream).distances == [-1, 0]
+
+    def test_intervening_distinct_signatures_counted(self):
+        stream = [
+            sig_inst(0, 1),  # A
+            sig_inst(1, 2),  # B
+            sig_inst(2, 3),  # C
+            sig_inst(0, 1),  # A again: B and C in between -> distance 2
+        ]
+        assert signature_reuse_distances(stream).distances[-1] == 2
+
+    def test_repeats_do_not_double_count(self):
+        stream = [
+            sig_inst(0, 1),  # A
+            sig_inst(1, 2),  # B
+            sig_inst(1, 2),  # B again (still one distinct signature)
+            sig_inst(0, 1),  # A: distance 1, not 2
+        ]
+        assert signature_reuse_distances(stream).distances[-1] == 1
+
+    def test_reusable_count_matches_ilr(self):
+        """Every instruction with a finite distance is exactly an
+        ILR-reusable instruction (same signature seen before)."""
+        stream = [sig_inst(i % 3, (i * 7) % 4) for i in range(60)]
+        distances = signature_reuse_distances(stream)
+        reuse = instruction_reusability(stream)
+        assert distances.reusable_count == reuse.reusable_count
+        for d, flag in zip(distances.distances, reuse.flags):
+            assert (d >= 0) == flag
+
+    def test_cdf_monotone_and_bounded(self):
+        stream = [sig_inst(i % 5, i % 3) for i in range(100)]
+        result = signature_reuse_distances(stream)
+        curve = result.cdf([1, 4, 16, 64])
+        rates = [rate for _cap, rate in curve]
+        assert rates == sorted(rates)
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_cdf_limit_equals_reusability(self):
+        """With unbounded capacity the predicted hit rate equals the
+        infinite-table reusability."""
+        stream = [sig_inst(i % 5, i % 3) for i in range(100)]
+        result = signature_reuse_distances(stream)
+        reuse = instruction_reusability(stream)
+        (_cap, rate), = result.cdf([10**9])
+        assert rate * 100 == pytest.approx(reuse.percent_reusable)
+
+
+class TestCapacityCurve:
+    def test_curve_shape(self):
+        fig = capacity_hit_curve(
+            ["compress", "li"], capacities=(16, 256, 4096), max_instructions=4000
+        )
+        rates = [row[1] for row in fig.rows]
+        assert rates == sorted(rates)
+        assert rates[-1] > rates[0]

@@ -1,0 +1,116 @@
+"""Trace-level reuse plans and latency models."""
+
+import pytest
+
+from repro.core.reuse_tlr import (
+    ConstantReuseLatency,
+    ProportionalReuseLatency,
+    tlr_reuse_plan,
+)
+from repro.core.stats import trace_io_stats
+from repro.core.traces import maximal_reusable_spans, span_from_range
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import loc_mem
+from repro.vm.trace import DynInst
+
+
+def make_inst(pc, reads, writes):
+    return DynInst(pc, Opcode.ADD, tuple(reads), tuple(writes), 1, pc + 1)
+
+
+def simple_stream(n=6):
+    return [make_inst(i, [(1, 0)], [(2, 1)]) for i in range(n)]
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        span = span_from_range(simple_stream(), 0, 3)
+        assert ConstantReuseLatency(2.0).latency_for(span) == 2.0
+
+    def test_proportional_counts_io(self):
+        stream = [make_inst(0, [(1, 0), (3, 0)], [(2, 1)])]
+        span = span_from_range(stream, 0, 1)
+        # 2 inputs + 1 output = 3 values; K = 1/16
+        model = ProportionalReuseLatency(1 / 16)
+        assert model.latency_for(span) == pytest.approx(3 / 16)
+
+    def test_proportional_k_one(self):
+        stream = [make_inst(0, [(1, 0)], [(2, 1)])]
+        span = span_from_range(stream, 0, 1)
+        assert ProportionalReuseLatency(1.0).latency_for(span) == pytest.approx(2.0)
+
+
+class TestTlrPlan:
+    def test_plan_marks_span_instructions(self):
+        stream = simple_stream()
+        spans = [span_from_range(stream, 1, 4)]
+        plan = tlr_reuse_plan(stream, spans, ConstantReuseLatency(1.0))
+        assert plan[0] is None
+        assert plan[1] is plan[2] is plan[3]  # shared point per span
+        assert plan[4] is None
+        assert plan[1].fetch_free
+
+    def test_plan_inputs_are_span_live_ins(self):
+        stream = simple_stream()
+        spans = [span_from_range(stream, 0, 2)]
+        plan = tlr_reuse_plan(stream, spans, ConstantReuseLatency(1.0))
+        assert plan[0].inputs == (1,)
+
+    def test_overlapping_spans_rejected(self):
+        stream = simple_stream()
+        spans = [span_from_range(stream, 0, 3), span_from_range(stream, 2, 5)]
+        with pytest.raises(ValueError, match="overlap"):
+            tlr_reuse_plan(stream, spans, ConstantReuseLatency(1.0))
+
+    def test_span_past_end_rejected(self):
+        stream = simple_stream()
+        span = span_from_range(stream, 2, 6)
+        with pytest.raises(ValueError):
+            tlr_reuse_plan(stream[:4], [span], ConstantReuseLatency(1.0))
+
+    def test_unsorted_spans_accepted(self):
+        stream = simple_stream()
+        spans = [span_from_range(stream, 4, 6), span_from_range(stream, 0, 2)]
+        plan = tlr_reuse_plan(stream, spans, ConstantReuseLatency(1.0))
+        assert plan[0] is not None and plan[4] is not None
+
+    def test_fetch_free_flag_forwarded(self):
+        stream = simple_stream()
+        spans = [span_from_range(stream, 0, 2)]
+        plan = tlr_reuse_plan(
+            stream, spans, ConstantReuseLatency(1.0), fetch_free=False
+        )
+        assert not plan[0].fetch_free
+
+
+class TestTraceIOStats:
+    def test_empty(self):
+        stats = trace_io_stats([])
+        assert stats.trace_count == 0
+        assert stats.avg_trace_size == 0.0
+
+    def test_single_span(self):
+        mem = loc_mem(7)
+        stream = [
+            make_inst(0, [(1, 5), (mem, 2)], [(2, 1)]),
+            make_inst(1, [(2, 1)], [(mem, 3)]),
+        ]
+        stats = trace_io_stats([span_from_range(stream, 0, 2)])
+        assert stats.trace_count == 1
+        assert stats.avg_trace_size == 2.0
+        assert stats.avg_inputs == 2.0
+        assert stats.avg_reg_inputs == 1.0
+        assert stats.avg_mem_inputs == 1.0
+        assert stats.avg_outputs == 2.0
+        assert stats.reads_per_instruction == pytest.approx(1.0)
+        assert stats.writes_per_instruction == pytest.approx(1.0)
+
+    def test_averaging_over_spans(self):
+        stream = simple_stream(6)
+        spans = maximal_reusable_spans(
+            stream, [True, True, False, True, True, True]
+        )
+        stats = trace_io_stats(spans)
+        assert stats.trace_count == 2
+        assert stats.avg_trace_size == pytest.approx(2.5)
+        assert stats.total_instructions == 5

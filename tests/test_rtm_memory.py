@@ -1,0 +1,161 @@
+"""Reuse Trace Memory: entries, geometry, lookup and LRU replacement."""
+
+import pytest
+
+from repro.core.rtm.entry import RTMEntry
+from repro.core.rtm.memory import RTM_PRESETS, ReuseTraceMemory, RTMConfig
+
+
+def entry(pc=0, length=3, inputs=((1, 5),), outputs=((2, 6),), next_pc=10):
+    return RTMEntry(
+        start_pc=pc, length=length, inputs=inputs, outputs=outputs, next_pc=next_pc
+    )
+
+
+class TestRTMEntry:
+    def test_matches_when_values_equal(self):
+        assert entry().matches({1: 5})
+
+    def test_mismatch_value(self):
+        assert not entry().matches({1: 6})
+
+    def test_missing_location_fails(self):
+        assert not entry().matches({})
+
+    def test_empty_inputs_always_match(self):
+        assert entry(inputs=()).matches({})
+
+    def test_multiple_inputs_all_checked(self):
+        e = entry(inputs=((1, 5), (2, 6)))
+        assert e.matches({1: 5, 2: 6})
+        assert not e.matches({1: 5, 2: 7})
+
+    def test_counts(self):
+        from repro.isa.registers import loc_mem
+
+        e = entry(inputs=((1, 5), (loc_mem(4), 0)), outputs=((2, 1), (loc_mem(9), 2)))
+        assert e.input_count == 2 and e.output_count == 2
+        assert e.reg_input_count == 1 and e.mem_input_count == 1
+        assert e.reg_output_count == 1 and e.mem_output_count == 1
+
+    def test_identity_same_for_equal_traces(self):
+        assert entry().identity() == entry().identity()
+
+    def test_identity_differs_on_inputs(self):
+        assert entry().identity() != entry(inputs=((1, 9),)).identity()
+
+
+class TestPresets:
+    def test_paper_capacities(self):
+        assert RTM_PRESETS["512"].total_entries == 512
+        assert RTM_PRESETS["4K"].total_entries == 4096
+        assert RTM_PRESETS["32K"].total_entries == 32768
+        assert RTM_PRESETS["256K"].total_entries == 262144
+
+    def test_paper_organisation(self):
+        assert RTM_PRESETS["512"].ways == 4
+        assert RTM_PRESETS["512"].traces_per_pc == 4
+        assert RTM_PRESETS["4K"].traces_per_pc == 8
+        assert RTM_PRESETS["32K"].ways == 8
+        assert RTM_PRESETS["256K"].traces_per_pc == 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ReuseTraceMemory(RTMConfig("bad", num_sets=0, ways=1, traces_per_pc=1))
+
+
+class TestLookupAndInsert:
+    def small(self):
+        return ReuseTraceMemory(RTMConfig("t", num_sets=2, ways=2, traces_per_pc=2))
+
+    def test_miss_on_empty(self):
+        rtm = self.small()
+        assert rtm.lookup(0, {1: 5}) is None
+        assert rtm.lookups == 1 and rtm.hits == 0
+
+    def test_insert_then_hit(self):
+        rtm = self.small()
+        rtm.insert(entry())
+        found = rtm.lookup(0, {1: 5})
+        assert found is not None and found.length == 3
+        assert rtm.hits == 1
+
+    def test_hit_requires_matching_inputs(self):
+        rtm = self.small()
+        rtm.insert(entry())
+        assert rtm.lookup(0, {1: 99}) is None
+
+    def test_lookup_wrong_pc_misses(self):
+        rtm = self.small()
+        rtm.insert(entry(pc=0))
+        assert rtm.lookup(1, {1: 5}) is None
+
+    def test_longest_match_wins(self):
+        rtm = self.small()
+        rtm.insert(entry(length=2))
+        rtm.insert(entry(length=5, inputs=((1, 5),)))
+        found = rtm.lookup(0, {1: 5})
+        assert found.length == 5
+
+    def test_occupancy(self):
+        rtm = self.small()
+        rtm.insert(entry())
+        rtm.insert(entry(pc=1))
+        assert rtm.occupancy == 2
+        assert len(rtm.stored_entries()) == 2
+
+    def test_duplicate_insert_refreshes_not_duplicates(self):
+        rtm = self.small()
+        rtm.insert(entry())
+        rtm.insert(entry())
+        assert rtm.occupancy == 1
+        assert rtm.insertions == 1
+
+    def test_traces_per_pc_eviction(self):
+        rtm = self.small()  # 2 traces per pc
+        rtm.insert(entry(inputs=((1, 1),)))
+        rtm.insert(entry(inputs=((1, 2),)))
+        rtm.insert(entry(inputs=((1, 3),)))  # evicts ((1,1))
+        assert rtm.lookup(0, {1: 1}) is None
+        assert rtm.lookup(0, {1: 3}) is not None
+        assert rtm.trace_evictions == 1
+
+    def test_lru_refresh_on_hit(self):
+        rtm = self.small()
+        rtm.insert(entry(inputs=((1, 1),)))
+        rtm.insert(entry(inputs=((1, 2),)))
+        rtm.lookup(0, {1: 1})  # refresh the older one
+        rtm.insert(entry(inputs=((1, 3),)))  # should evict ((1,2))
+        assert rtm.lookup(0, {1: 1}) is not None
+        assert rtm.lookup(0, {1: 2}) is None
+
+    def test_way_eviction_drops_whole_pc(self):
+        rtm = self.small()  # 2 ways, 2 sets: pcs 0,2,4 share set 0
+        rtm.insert(entry(pc=0))
+        rtm.insert(entry(pc=2, inputs=((1, 5),)))
+        rtm.insert(entry(pc=4, inputs=((1, 5),)))  # evicts pc 0 bucket
+        assert rtm.lookup(0, {1: 5}) is None
+        assert rtm.pc_evictions == 1
+
+    def test_set_indexing_by_pc_low_bits(self):
+        rtm = self.small()
+        rtm.insert(entry(pc=0))
+        rtm.insert(entry(pc=1, inputs=((1, 5),)))
+        # different sets: no interference
+        assert rtm.lookup(0, {1: 5}) is not None
+        assert rtm.lookup(1, {1: 5}) is not None
+
+    def test_hit_rate(self):
+        rtm = self.small()
+        rtm.insert(entry())
+        rtm.lookup(0, {1: 5})
+        rtm.lookup(0, {1: 0})
+        assert rtm.hit_rate() == pytest.approx(0.5)
+
+    def test_capacity_never_exceeded(self):
+        config = RTMConfig("t", num_sets=2, ways=2, traces_per_pc=2)
+        rtm = ReuseTraceMemory(config)
+        for pc in range(10):
+            for v in range(5):
+                rtm.insert(entry(pc=pc, inputs=((1, v),)))
+        assert rtm.occupancy <= config.total_entries

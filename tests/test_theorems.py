@@ -1,0 +1,148 @@
+"""Theorems 1 and 2 of the paper, checked as executable properties.
+
+Theorem 1: if a trace is reusable (its live-in locations hold the same
+values as in a previous execution of the same trace), then every
+instruction in it is individually reusable.  We verify the contrapositive
+machinery directly on randomly generated straight-line programs executed
+many times with inputs drawn from a small pool (so repetitions happen).
+
+Theorem 2: individually reusable instructions do NOT make the enclosing
+trace reusable — we construct the paper's counterexample explicitly.
+"""
+
+from __future__ import annotations
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ilr import instruction_reusability
+from repro.core.traces import compute_liveness
+from repro.isa.opcodes import Opcode
+from repro.vm.trace import DynInst
+
+_OPS = [operator.add, operator.sub, operator.mul, operator.and_]
+
+
+@st.composite
+def straight_line_programs(draw):
+    """A random register program plus several runs' initial values."""
+    n_regs = draw(st.integers(min_value=2, max_value=4))
+    n_instrs = draw(st.integers(min_value=1, max_value=6))
+    program = [
+        (
+            draw(st.integers(0, len(_OPS) - 1)),
+            draw(st.integers(0, n_regs - 1)),  # dst
+            draw(st.integers(0, n_regs - 1)),  # src1
+            draw(st.integers(0, n_regs - 1)),  # src2
+        )
+        for _ in range(n_instrs)
+    ]
+    n_runs = draw(st.integers(min_value=2, max_value=6))
+    runs = [
+        tuple(draw(st.integers(0, 1)) for _ in range(n_regs)) for _ in range(n_runs)
+    ]
+    return program, runs
+
+
+def execute_runs(program, runs):
+    """Execute every run, concatenating dynamic streams.
+
+    Returns the combined stream and per-run (start, stop) ranges.
+    """
+    stream: list[DynInst] = []
+    ranges = []
+    for initial in runs:
+        regs = list(initial)
+        start = len(stream)
+        for pc, (op_idx, dst, src1, src2) in enumerate(program):
+            a, b = regs[src1], regs[src2]
+            result = _OPS[op_idx](a, b)
+            regs[dst] = result
+            stream.append(
+                DynInst(
+                    pc=pc,
+                    op=Opcode.ADD,
+                    reads=((src1, a), (src2, b)),
+                    writes=((dst, result),),
+                    latency=1,
+                    next_pc=pc + 1,
+                )
+            )
+        ranges.append((start, len(stream)))
+    return stream, ranges
+
+
+class TestTheorem1:
+    @given(straight_line_programs())
+    @settings(max_examples=200, deadline=None)
+    def test_reusable_trace_implies_reusable_instructions(self, case):
+        program, runs = case
+        stream, ranges = execute_runs(program, runs)
+        flags = instruction_reusability(stream).flags
+
+        seen_inputs: list[tuple] = []
+        for start, stop in ranges:
+            live_ins, _ = compute_liveness(stream[start:stop])
+            if live_ins in seen_inputs:
+                # the whole-run trace is reusable: by Theorem 1 every
+                # instruction in it must be instruction-level reusable
+                assert all(flags[start:stop]), (
+                    f"trace with repeated live-ins {live_ins} contained a "
+                    "non-reusable instruction"
+                )
+            seen_inputs.append(live_ins)
+
+    @given(straight_line_programs())
+    @settings(max_examples=200, deadline=None)
+    def test_identical_runs_make_second_fully_reusable(self, case):
+        program, runs = case
+        # force an exact repetition
+        runs = [runs[0], runs[0]]
+        stream, ranges = execute_runs(program, runs)
+        flags = instruction_reusability(stream).flags
+        start, stop = ranges[1]
+        assert all(flags[start:stop])
+
+    @given(straight_line_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_outputs_determined_by_inputs(self, case):
+        """The lemma underpinning reuse: same live-ins => same live-outs."""
+        program, runs = case
+        stream, ranges = execute_runs(program, runs)
+        observed: dict[tuple, tuple] = {}
+        for start, stop in ranges:
+            live_ins, live_outs = compute_liveness(stream[start:stop])
+            if live_ins in observed:
+                assert observed[live_ins] == live_outs
+            else:
+                observed[live_ins] = live_outs
+
+
+class TestTheorem2:
+    def test_counterexample(self):
+        """Instructions reusable individually; the trace is not.
+
+        Instruction A reads r1, instruction B reads r2.  Segment 3
+        pairs A's inputs from segment 1 with B's inputs from segment 2
+        — each instruction has been seen, the combination has not.
+        """
+
+        def segment(r1, r2):
+            return [
+                DynInst(0, Opcode.ADD, ((1, r1),), ((3, r1 + 1),), 1, 1),
+                DynInst(1, Opcode.ADD, ((2, r2),), ((4, r2 + 2),), 1, 2),
+            ]
+
+        stream = segment(0, 0) + segment(1, 1) + segment(0, 1)
+        flags = instruction_reusability(stream).flags
+        # both instructions of the third segment are reusable...
+        assert flags[4] and flags[5]
+        # ...but the third segment's live-ins were never seen as a pair
+        seen = []
+        for start in (0, 2, 4):
+            live_ins, _ = compute_liveness(stream[start : start + 2])
+            if start == 4:
+                assert live_ins not in seen
+            seen.append(live_ins)

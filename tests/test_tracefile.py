@@ -1,0 +1,112 @@
+"""Trace serialization: round-trips and error handling."""
+
+import json
+
+import pytest
+
+from repro.vm.tracefile import TraceFileError, load_trace, save_trace
+from repro.workloads.base import run_workload
+
+from conftest import run_asm
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path):
+        _, trace = run_asm("li r1, 5\nmuli r2, r1, 3\nhalt")
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.halted == trace.halted
+        assert loaded.truncated == trace.truncated
+        assert [repr(d) for d in loaded] == [repr(d) for d in trace]
+
+    def test_gzip_round_trip(self, tmp_path):
+        _, trace = run_asm("li r1, 5\nhalt")
+        path = tmp_path / "t.jsonl.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert [repr(d) for d in loaded] == [repr(d) for d in trace]
+
+    def test_float_values_preserved(self, tmp_path):
+        _, trace = run_asm("fli f1, 0.1\nfadd f2, f1, f1\nhalt")
+        path = tmp_path / "fp.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        value = loaded[1].writes[0][1]
+        assert isinstance(value, float)
+        assert value == trace[1].writes[0][1]
+
+    def test_int_values_stay_ints(self, tmp_path):
+        _, trace = run_asm("li r1, 7\nhalt")
+        path = tmp_path / "int.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert isinstance(loaded[0].writes[0][1], int)
+
+    def test_program_name_preserved(self, tmp_path):
+        trace = run_workload("li", max_instructions=200)
+        path = tmp_path / "li.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path).program_name == "li"
+
+    def test_empty_trace(self, tmp_path):
+        from repro.vm.trace import Trace
+
+        path = tmp_path / "empty.jsonl"
+        save_trace(Trace(), path)
+        assert len(load_trace(path)) == 0
+
+    def test_analyses_agree_on_loaded_trace(self, tmp_path):
+        from repro.baselines.ilr import instruction_reusability
+
+        trace = run_workload("compress", max_instructions=2_000)
+        path = tmp_path / "c.jsonl.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert (
+            instruction_reusability(loaded).percent_reusable
+            == instruction_reusability(trace).percent_reusable
+        )
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFileError, match="empty"):
+            load_trace(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "b.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceFileError, match="bad header"):
+            load_trace(path)
+
+    def test_wrong_format_tag(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(TraceFileError, match="not a repro-trace"):
+            load_trace(path)
+
+    def test_bad_record(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text(
+            json.dumps({"format": "repro-trace-v1", "count": 1}) + "\n[1, 2]\n"
+        )
+        with pytest.raises(TraceFileError, match="bad record"):
+            load_trace(path)
+
+    def test_count_mismatch(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text(json.dumps({"format": "repro-trace-v1", "count": 5}) + "\n")
+        with pytest.raises(TraceFileError, match="declares 5"):
+            load_trace(path)
+
+    def test_odd_pair_list(self, tmp_path):
+        path = tmp_path / "o.jsonl"
+        header = json.dumps({"format": "repro-trace-v1", "count": 1})
+        record = json.dumps([0, 1, [1], [], 1, 1])
+        path.write_text(header + "\n" + record + "\n")
+        with pytest.raises(TraceFileError, match="odd-length"):
+            load_trace(path)

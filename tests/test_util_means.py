@@ -1,0 +1,111 @@
+"""Averaging helpers: paper conventions and error handling."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.means import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    harmonic_mean_speedup,
+    weighted_mean,
+)
+
+
+class TestArithmeticMean:
+    def test_simple(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert arithmetic_mean([7.5]) == 7.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_accepts_ints(self):
+        assert arithmetic_mean([1, 3]) == pytest.approx(2.0)
+
+
+class TestHarmonicMean:
+    def test_simple(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_equal_values(self):
+        assert harmonic_mean([2.5, 2.5, 2.5]) == pytest.approx(2.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_never_exceeds_arithmetic(self, values):
+        assert harmonic_mean(values) <= arithmetic_mean(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_bounded_by_extremes(self, values):
+        h = harmonic_mean(values)
+        assert min(values) - 1e-9 <= h <= max(values) + 1e-9
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_between_harmonic_and_arithmetic(self, values):
+        g = geometric_mean(values)
+        assert harmonic_mean(values) - 1e-9 <= g <= arithmetic_mean(values) + 1e-9
+
+
+class TestWeightedMean:
+    def test_equal_weights_match_arithmetic(self):
+        vals = [1.0, 2.0, 6.0]
+        assert weighted_mean(vals, [1, 1, 1]) == pytest.approx(arithmetic_mean(vals))
+
+    def test_weighting(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_mean([], [])
+
+
+class TestHarmonicSpeedup:
+    def test_simple(self):
+        # speedups 2.0 and 4.0 -> harmonic mean 2.67
+        result = harmonic_mean_speedup([2.0, 4.0], [1.0, 1.0])
+        assert result == pytest.approx(harmonic_mean([2.0, 4.0]))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            harmonic_mean_speedup([1.0], [1.0, 2.0])
+
+    def test_identity(self):
+        assert harmonic_mean_speedup([3.0, 5.0], [3.0, 5.0]) == pytest.approx(1.0)
+
+    def test_not_nan_for_valid(self):
+        assert not math.isnan(harmonic_mean_speedup([2.0], [1.0]))

@@ -1,0 +1,52 @@
+"""Process fan-out helpers."""
+
+import pytest
+
+from repro.util.parallel import chunked, default_worker_count, parallel_map
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(_square, list(range(20))) == [x * x for x in range(20)]
+
+    def test_empty(self):
+        assert parallel_map(_square, []) == []
+
+    def test_serial_fallback_single_item(self):
+        assert parallel_map(_square, [3]) == [9]
+
+    def test_explicit_single_worker(self):
+        assert parallel_map(_square, [1, 2, 3], max_workers=1) == [1, 4, 9]
+
+    def test_multi_worker(self):
+        # on a single-core box this still exercises the pool path
+        assert parallel_map(_square, list(range(8)), max_workers=2) == [
+            x * x for x in range(8)
+        ]
+
+
+class TestDefaultWorkerCount:
+    def test_at_least_one(self):
+        assert default_worker_count(0) == 1
+
+    def test_capped_by_tasks(self):
+        assert default_worker_count(1) == 1
+
+
+class TestChunked:
+    def test_even_chunks(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(chunked([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_chunk_larger_than_input(self):
+        assert list(chunked([1], 10)) == [[1]]
+
+    def test_zero_chunk_raises(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))

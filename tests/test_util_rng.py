@@ -1,0 +1,86 @@
+"""Deterministic RNG: stability, ranges and distribution sanity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import MASK64, DeterministicRNG, mix64
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(42) == mix64(42)
+
+    def test_avalanche(self):
+        # flipping one input bit changes roughly half of the output bits
+        a, b = mix64(1234), mix64(1234 ^ 1)
+        flipped = bin(a ^ b).count("1")
+        assert 10 < flipped < 54
+
+    def test_stays_in_64_bits(self):
+        assert 0 <= mix64(2**200) <= MASK64
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_range_property(self, x):
+        assert 0 <= mix64(x) <= MASK64
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(7)
+        b = DeterministicRNG(7)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(7)
+        b = DeterministicRNG(8)
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    @given(st.integers(0, 2**32), st.integers(-100, 100), st.integers(0, 200))
+    def test_randint_in_range(self, seed, lo, span):
+        rng = DeterministicRNG(seed)
+        hi = lo + span
+        for _ in range(10):
+            assert lo <= rng.randint(lo, hi) <= hi
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(1).randint(5, 4)
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRNG(3)
+        for _ in range(100):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_random_covers_interval(self):
+        rng = DeterministicRNG(5)
+        values = [rng.random() for _ in range(500)]
+        assert min(values) < 0.1 and max(values) > 0.9
+
+    def test_choice(self):
+        rng = DeterministicRNG(11)
+        seq = ["a", "b", "c"]
+        for _ in range(20):
+            assert rng.choice(seq) in seq
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(1).choice([])
+
+    @given(st.integers(0, 2**32), st.integers(0, 30))
+    def test_shuffle_is_permutation(self, seed, n):
+        rng = DeterministicRNG(seed)
+        items = list(range(n))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_ints_length_and_range(self):
+        vals = DeterministicRNG(9).ints(50, 3, 7)
+        assert len(vals) == 50
+        assert all(3 <= v <= 7 for v in vals)
+
+    def test_floats_length_and_range(self):
+        vals = DeterministicRNG(9).floats(50, -1.0, 1.0)
+        assert len(vals) == 50
+        assert all(-1.0 <= v < 1.0 for v in vals)

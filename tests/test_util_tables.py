@@ -1,0 +1,52 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.util.tables import format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        out = format_table(["x"], [["y"]], title="My title")
+        assert out.splitlines()[0] == "My title"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.14" in out and "3.14159" not in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_alignment_consistent(self):
+        out = format_table(["col"], [["x"], ["longer"]])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table(["a", "b"], [["1", "2"]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_float_cells(self):
+        out = format_markdown_table(["x"], [[1.5]])
+        assert "| 1.50 |" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [["1", "2"]])
