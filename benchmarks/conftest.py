@@ -6,6 +6,11 @@ dynamic instructions per kernel (the analogue of the paper's fixed
 50M-instruction windows, scaled to the pure-Python substrate) and
 shared across the per-figure benchmarks.  Each benchmark prints the
 regenerated rows and also writes them under ``benchmarks/results/``.
+
+Repeat sessions are fast: traces and profiles are memoised on disk by
+:mod:`repro.vm.tracecache`, so only the first session after a code
+change pays for VM execution and analysis.  Set ``REPRO_TRACE_CACHE=0``
+(or ``REPRO_BENCH_NO_CACHE=1``) to force cold runs.
 """
 
 from __future__ import annotations
@@ -29,7 +34,8 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def config() -> ExperimentConfig:
-    return ExperimentConfig(max_instructions=BUDGET)
+    use_cache = os.environ.get("REPRO_BENCH_NO_CACHE", "0") != "1"
+    return ExperimentConfig(max_instructions=BUDGET, use_cache=use_cache)
 
 
 @pytest.fixture(scope="session")

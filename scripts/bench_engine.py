@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Engine smoke benchmark: writes ``BENCH_engine.json``.
+
+Measures the three layers the fused-engine PR optimised, against the
+retained pre-optimisation reference pipeline:
+
+- ``machine_run``: raw VM throughput (instr/s) through ``Machine.run``;
+- ``fused_engine``: scenario throughput (scenarios/s) of
+  ``FusedDataflowEngine`` over the standard figure-3..8 scenario set;
+- ``collect_profiles``: wall-clock of a full 14-kernel profile
+  collection — the pre-PR per-scenario baseline
+  (``run_profile_reference``), a cold fused run (empty cache), and a
+  warm run (cache hit) — plus the cold/warm speed-ups and a
+  bit-identical check of the profiles.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_engine.py [--budget N] [--output PATH]
+
+``REPRO_BENCH_BUDGET`` also sets the budget (flag wins).  The cache
+measurements use a throwaway directory, so the run neither reads nor
+pollutes ``.repro-cache/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines.ilr import instruction_reusability  # noqa: E402
+from repro.core.traces import maximal_reusable_spans  # noqa: E402
+from repro.dataflow.model import FusedDataflowEngine, Scenario  # noqa: E402
+from repro.exp.config import ExperimentConfig  # noqa: E402
+from repro.exp.runner import run_profile_reference  # noqa: E402
+from repro.workloads.base import build_program, run_workload  # noqa: E402
+from repro.vm.machine import Machine  # noqa: E402
+
+
+def scenario_set(config: ExperimentConfig) -> list[Scenario]:
+    """The scenarios one ``run_profile`` call evaluates."""
+    win = config.window_size
+    scens = [Scenario("base", window_size=None), Scenario("base", window_size=win)]
+    for latency in config.reuse_latencies:
+        for window in (None, win):
+            scens.append(Scenario("ilr", window_size=window, latency=float(latency)))
+            scens.append(Scenario("tlr", window_size=window, latency=float(latency)))
+    for k in config.proportional_ks:
+        scens.append(Scenario("tlr", window_size=win, k=k))
+    return scens
+
+
+def bench_machine_run(budget: int) -> dict:
+    kernels = ("compress", "tomcatv", "go")
+    programs = {name: build_program(name) for name in kernels}
+    total_instr = 0
+    start = time.perf_counter()
+    for name, program in programs.items():
+        trace = Machine(program).run(max_instructions=budget)
+        total_instr += len(trace)
+    elapsed = time.perf_counter() - start
+    return {
+        "kernels": list(kernels),
+        "instructions": total_instr,
+        "seconds": round(elapsed, 4),
+        "instr_per_sec": round(total_instr / elapsed),
+    }
+
+
+def bench_fused_engine(budget: int, config: ExperimentConfig) -> dict:
+    trace = run_workload("compress", max_instructions=budget, use_cache=False)
+    reuse = instruction_reusability(trace)
+    spans = maximal_reusable_spans(trace, reuse.flags)
+    scens = scenario_set(config)
+    start = time.perf_counter()
+    engine = FusedDataflowEngine(trace, flags=reuse.flags, spans=spans)
+    engine.analyze_all(scens)
+    elapsed = time.perf_counter() - start
+    return {
+        "kernel": "compress",
+        "instructions": len(trace),
+        "scenarios": len(scens),
+        "seconds": round(elapsed, 4),
+        "scenarios_per_sec": round(len(scens) / elapsed, 1),
+    }
+
+
+def bench_collect_profiles(budget: int) -> dict:
+    from repro.exp.runner import collect_profiles
+
+    cold_config = ExperimentConfig(max_instructions=budget, max_workers=1)
+
+    start = time.perf_counter()
+    baseline_profiles = [
+        run_profile_reference(name, cold_config)
+        for name in cold_config.workloads
+    ]
+    baseline = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold_profiles = collect_profiles(cold_config)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_profiles = collect_profiles(cold_config)
+    warm = time.perf_counter() - start
+
+    return {
+        "workloads": len(cold_config.workloads),
+        "baseline_seconds": round(baseline, 4),
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "cold_speedup": round(baseline / cold, 2),
+        "warm_speedup": round(baseline / warm, 1),
+        "bit_identical": (
+            baseline_profiles == cold_profiles == warm_profiles
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", type=int,
+        default=int(os.environ.get("REPRO_BENCH_BUDGET", "40000")),
+        help="dynamic instruction budget per kernel (default 40000)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_engine.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        report = {
+            "budget": args.budget,
+            "machine_run": bench_machine_run(args.budget),
+            "fused_engine": bench_fused_engine(
+                args.budget, ExperimentConfig(max_instructions=args.budget)
+            ),
+            "collect_profiles": bench_collect_profiles(args.budget),
+        }
+
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out}", file=sys.stderr)
+
+    cp = report["collect_profiles"]
+    ok = cp["bit_identical"] and cp["cold_speedup"] >= 1.0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

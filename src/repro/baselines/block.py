@@ -14,11 +14,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.isa.opcodes import OpClass
-from repro.vm.trace import DynInst, Trace
+from repro.vm.trace import AnyTrace, DynInst, stream_of
 
 
 def basic_block_spans(
-    trace: Trace | Sequence[DynInst],
+    trace: AnyTrace | Sequence[DynInst],
     flags: Sequence[bool],
 ) -> list[tuple[int, int]]:
     """Split maximal reusable runs at basic-block boundaries.
@@ -30,7 +30,7 @@ def basic_block_spans(
     block); a discontinuous ``next_pc`` also forces a boundary, which
     catches fall-through targets of taken branches elsewhere.
     """
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    instructions = stream_of(trace)
     if len(flags) != len(instructions):
         raise ValueError("flags must align with the instruction stream")
     spans: list[tuple[int, int]] = []

@@ -17,7 +17,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.dataflow.model import ReusePoint
-from repro.vm.trace import DynInst, Trace
+from repro.vm.trace import AnyTrace, ColumnarTrace, DynInst, stream_of
 
 
 @dataclass(slots=True)
@@ -41,15 +41,22 @@ class ReusabilityResult:
 
 
 def instruction_reusability(
-    trace: Trace | Sequence[DynInst],
+    trace: AnyTrace | Sequence[DynInst],
 ) -> ReusabilityResult:
     """Infinite-history instruction-level reusability (Figure 3).
 
     One forward pass: a dynamic instance is reusable iff its
     ``(pc, input signature)`` was seen before; afterwards the
     signature is recorded.
+
+    Columnar traces take a fast path that builds signatures straight
+    from the location/value columns — ``(locs, values)`` tuple pairs
+    discriminate exactly like the row layout's pair-tuples, so the
+    flags are identical, without materialising any row records.
     """
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    if isinstance(trace, ColumnarTrace):
+        return _columnar_reusability(trace)
+    instructions = stream_of(trace)
     history: dict[int, set] = {}
     flags: list[bool] = []
     reusable = 0
@@ -76,8 +83,42 @@ def instruction_reusability(
     )
 
 
+def _columnar_reusability(trace: ColumnarTrace) -> ReusabilityResult:
+    pcs = trace.pcs
+    rb, rl, rv = trace.read_bounds, trace.read_locs, trace.read_vals
+    history: dict[int, set] = {}
+    history_get = history.get
+    flags: list[bool] = []
+    flags_append = flags.append
+    reusable = 0
+    signature_count = 0
+    a = 0
+    for i, pc in enumerate(pcs):
+        b = rb[i + 1]
+        seen = history_get(pc)
+        if seen is None:
+            seen = set()
+            history[pc] = seen
+        sig = (tuple(rl[a:b]), tuple(rv[a:b]))
+        if sig in seen:
+            flags_append(True)
+            reusable += 1
+        else:
+            seen.add(sig)
+            signature_count += 1
+            flags_append(False)
+        a = b
+    return ReusabilityResult(
+        flags=flags,
+        reusable_count=reusable,
+        total_count=len(flags),
+        static_count=len(history),
+        signature_count=signature_count,
+    )
+
+
 def reusability_by_class(
-    trace: Trace | Sequence[DynInst],
+    trace: AnyTrace | Sequence[DynInst],
     flags: Sequence[bool] | None = None,
 ) -> dict[str, tuple[int, int, float]]:
     """Sources of repetition (Sodani & Sohi's [13] style breakdown).
@@ -85,7 +126,7 @@ def reusability_by_class(
     Returns ``{op-class name: (reusable, total, percent)}``, computed
     from existing flags when provided (one pass otherwise).
     """
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    instructions = stream_of(trace)
     if flags is None:
         flags = instruction_reusability(instructions).flags
     if len(flags) != len(instructions):
@@ -108,7 +149,7 @@ def reusability_by_class(
 
 
 def ilr_reuse_plan(
-    trace: Trace | Sequence[DynInst],
+    trace: AnyTrace | Sequence[DynInst],
     flags: Sequence[bool],
     reuse_latency: float,
 ) -> list[ReusePoint | None]:
@@ -116,7 +157,7 @@ def ilr_reuse_plan(
     complete at ``max(own producers) + reuse_latency`` (sections
     4.3/4.5: reuse cannot begin until the instruction's source
     operands are available)."""
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    instructions = stream_of(trace)
     if len(flags) != len(instructions):
         raise ValueError("flags must align with the instruction stream")
     plan: list[ReusePoint | None] = []

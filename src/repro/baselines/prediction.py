@@ -24,7 +24,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.dataflow.model import ReusePoint
-from repro.vm.trace import DynInst, Trace
+from repro.vm.trace import AnyTrace, DynInst, stream_of
 
 
 class LastValuePredictor:
@@ -85,10 +85,10 @@ class PredictionResult:
 
 
 def value_predictability(
-    trace: Trace | Sequence[DynInst], predictor
+    trace: AnyTrace | Sequence[DynInst], predictor
 ) -> PredictionResult:
     """Run a predictor over a stream, recording per-instruction hits."""
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    instructions = stream_of(trace)
     result = PredictionResult()
     for inst in instructions:
         hit = predictor.predict_and_update(inst)
@@ -99,7 +99,7 @@ def value_predictability(
 
 
 def value_prediction_plan(
-    trace: Trace | Sequence[DynInst],
+    trace: AnyTrace | Sequence[DynInst],
     flags: Sequence[bool],
     *,
     latency: float = 1.0,
@@ -107,7 +107,7 @@ def value_prediction_plan(
     """Timing plan: predicted instructions complete without waiting
     for their producers (``inputs=()``) — the key difference from
     instruction-level reuse, which is operand-gated."""
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    instructions = stream_of(trace)
     if len(flags) != len(instructions):
         raise ValueError("flags must align with the instruction stream")
     return [

@@ -23,7 +23,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.exp.figures import FigureResult
-from repro.vm.trace import DynInst, Trace
+from repro.vm.trace import AnyTrace, DynInst, stream_of
 
 
 class _Fenwick:
@@ -74,7 +74,7 @@ class ReuseDistanceResult:
 
 
 def signature_reuse_distances(
-    trace: Trace | Sequence[DynInst],
+    trace: AnyTrace | Sequence[DynInst],
 ) -> ReuseDistanceResult:
     """LRU stack distances over ``(pc, inputs)`` signatures.
 
@@ -83,7 +83,7 @@ def signature_reuse_distances(
     whose most recent access falls between its previous access and
     now — O(n log n) for the whole stream.
     """
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    instructions = stream_of(trace)
     n = len(instructions)
     result = ReuseDistanceResult(total_count=n)
     tree = _Fenwick(n)

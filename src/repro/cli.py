@@ -19,6 +19,10 @@ Commands
     tests).
 ``disasm WORKLOAD``
     Disassemble a kernel's text segment.
+``cache {info,clear}``
+    Inspect or wipe the persistent trace/profile cache
+    (``.repro-cache/``; see ``repro.vm.tracecache``).  Commands that
+    execute kernels accept ``--no-cache`` to bypass it.
 """
 
 from __future__ import annotations
@@ -60,7 +64,11 @@ def _cmd_workloads(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    trace = run_workload(args.workload, max_instructions=args.budget)
+    trace = run_workload(
+        args.workload,
+        max_instructions=args.budget,
+        use_cache=not args.no_cache,
+    )
     print(f"{args.workload}: {len(trace)} dynamic instructions "
           f"(halted={trace.halted})")
     hist = sorted(
@@ -78,7 +86,11 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    trace = run_workload(args.workload, max_instructions=args.budget)
+    trace = run_workload(
+        args.workload,
+        max_instructions=args.budget,
+        use_cache=not args.no_cache,
+    )
     reuse = instruction_reusability(trace)
     spans = maximal_reusable_spans(trace, reuse.flags)
     stats = trace_io_stats(spans)
@@ -101,7 +113,9 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_figures(args) -> int:
-    config = ExperimentConfig(max_instructions=args.budget)
+    config = ExperimentConfig(
+        max_instructions=args.budget, use_cache=not args.no_cache
+    )
     profiles = collect_profiles(config)
     for result in (
         figure3(profiles),
@@ -115,7 +129,9 @@ def _cmd_figures(args) -> int:
         print(render(result))
         print()
     if args.fig9:
-        fig9_config = ExperimentConfig(max_instructions=args.fig9_budget)
+        fig9_config = ExperimentConfig(
+            max_instructions=args.fig9_budget, use_cache=not args.no_cache
+        )
         print(render(figure9(fig9_config)))
     return 0
 
@@ -151,6 +167,26 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.vm import tracecache
+
+    if args.action == "clear":
+        removed = tracecache.clear_cache()
+        print(f"removed {removed} cache entries from {tracecache.cache_dir()}")
+        return 0
+    info = tracecache.cache_info()
+    state = "enabled" if info["enabled"] else "disabled (REPRO_TRACE_CACHE=0)"
+    print(f"cache directory: {info['dir']} ({state})")
+    print(format_table(
+        ["layer", "entries", "bytes"],
+        [
+            ["traces", info["traces"], info["trace_bytes"]],
+            ["profiles", info["profiles"], info["profile_bytes"]],
+        ],
+    ))
+    return 0
+
+
 def _cmd_characterize(args) -> int:
     from repro.workloads.base import FP_SUITE, INT_SUITE
     from repro.workloads.characterize import suite_characterization
@@ -174,17 +210,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("workload")
     p_run.add_argument("--budget", type=int, default=20_000)
     p_run.add_argument("--save-trace", metavar="PATH")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent trace cache")
 
     p_an = sub.add_parser("analyze", help="full single-kernel analysis")
     p_an.add_argument("workload")
     p_an.add_argument("--budget", type=int, default=20_000)
     p_an.add_argument("--window", type=int, default=256)
+    p_an.add_argument("--no-cache", action="store_true",
+                      help="bypass the persistent trace cache")
 
     p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
     p_fig.add_argument("--budget", type=int, default=20_000)
     p_fig.add_argument("--fig9", action="store_true",
                        help="also run the (slow) finite-RTM grid")
     p_fig.add_argument("--fig9-budget", type=int, default=8_000)
+    p_fig.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent trace/profile cache")
 
     p_rtm = sub.add_parser("rtm", help="finite-RTM design sweep")
     p_rtm.add_argument("workload")
@@ -198,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch = sub.add_parser("characterize", help="workload suite statistics")
     p_ch.add_argument("workloads", nargs="*")
     p_ch.add_argument("--budget", type=int, default=10_000)
+
+    p_cache = sub.add_parser("cache", help="inspect or wipe the trace cache")
+    p_cache.add_argument("action", choices=["info", "clear"])
     return parser
 
 
@@ -209,6 +254,7 @@ _COMMANDS = {
     "rtm": _cmd_rtm,
     "disasm": _cmd_disasm,
     "characterize": _cmd_characterize,
+    "cache": _cmd_cache,
 }
 
 

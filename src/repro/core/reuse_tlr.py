@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.core.traces import TraceSpan
 from repro.dataflow.model import ReusePoint
-from repro.vm.trace import DynInst, Trace
+from repro.vm.trace import AnyTrace, DynInst, stream_of
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,7 +55,7 @@ LatencyModel = ConstantReuseLatency | ProportionalReuseLatency
 
 
 def tlr_reuse_plan(
-    trace: Trace | Sequence[DynInst],
+    trace: AnyTrace | Sequence[DynInst],
     spans: Sequence[TraceSpan],
     latency_model: LatencyModel,
     *,
@@ -69,7 +69,7 @@ def tlr_reuse_plan(
     the dataflow limit.  ``fetch_free=True`` (the default) models the
     fetch-skip benefit: reused instructions occupy no window slots.
     """
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    instructions = stream_of(trace)
     plan: list[ReusePoint | None] = [None] * len(instructions)
     last_stop = 0
     for span in sorted(spans, key=lambda s: s.start):

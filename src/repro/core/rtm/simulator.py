@@ -31,7 +31,7 @@ from repro.core.rtm.collector import (
 from repro.core.rtm.invalidating import InvalidatingRTM
 from repro.core.rtm.memory import ReuseTraceMemory, RTMConfig
 from repro.core.traces import TraceLimits
-from repro.vm.trace import DynInst, Trace
+from repro.vm.trace import AnyTrace, DynInst, stream_of
 
 
 @dataclass(slots=True)
@@ -120,9 +120,9 @@ class FiniteReuseSimulator:
         self.validate = validate
         self.reuse_test = reuse_test
 
-    def run(self, trace: Trace | Sequence[DynInst]) -> FiniteReuseResult:
+    def run(self, trace: AnyTrace | Sequence[DynInst]) -> FiniteReuseResult:
         """Simulate the engine over one captured stream."""
-        stream = trace.instructions if isinstance(trace, Trace) else list(trace)
+        stream = stream_of(trace)
         if self.reuse_test == "invalidate":
             rtm = InvalidatingRTM(self.rtm_config)
         else:

@@ -13,6 +13,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.traces import TraceSpan
+from repro.isa.registers import MEM_LOC_BASE
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,13 +40,24 @@ def trace_io_stats(spans: Sequence[TraceSpan]) -> TraceIOStats:
     n = len(spans)
     if n == 0:
         return TraceIOStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-    total_instr = sum(s.length for s in spans)
-    total_in = sum(s.input_count for s in spans)
-    total_reg_in = sum(s.reg_input_count for s in spans)
-    total_mem_in = sum(s.mem_input_count for s in spans)
-    total_out = sum(s.output_count for s in spans)
-    total_reg_out = sum(s.reg_output_count for s in spans)
-    total_mem_out = sum(s.mem_output_count for s in spans)
+    # one pass over the spans (the per-span properties would walk each
+    # live set several times over)
+    total_instr = total_in = total_reg_in = 0
+    total_out = total_reg_out = 0
+    for s in spans:
+        total_instr += s.stop - s.start
+        live_ins = s.live_ins
+        live_outs = s.live_outs
+        total_in += len(live_ins)
+        total_out += len(live_outs)
+        for loc, _value in live_ins:
+            if loc < MEM_LOC_BASE:
+                total_reg_in += 1
+        for loc, _value in live_outs:
+            if loc < MEM_LOC_BASE:
+                total_reg_out += 1
+    total_mem_in = total_in - total_reg_in
+    total_mem_out = total_out - total_reg_out
     return TraceIOStats(
         trace_count=n,
         total_instructions=total_instr,

@@ -22,7 +22,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.isa.registers import loc_is_mem
-from repro.vm.trace import DynInst, Trace
+from repro.vm.trace import AnyTrace, ColumnarTrace, DynInst, stream_of
 
 
 @dataclass(frozen=True, slots=True)
@@ -156,16 +156,51 @@ def span_from_range(
     )
 
 
+def _span_from_columnar(trace: ColumnarTrace, start: int, stop: int) -> TraceSpan:
+    """:func:`span_from_range` over trace columns — no row records.
+
+    Liveness walks the flattened location/value columns with running
+    cursors; the dict-insertion-order construction matches
+    :func:`compute_liveness` exactly, so the resulting span is equal
+    to the row-layout one field for field.
+    """
+    live_in: dict[int, int | float] = {}
+    live_out: dict[int, int | float] = {}
+    rb, rl, rv = trace.read_bounds, trace.read_locs, trace.read_vals
+    wb, wl, wv = trace.write_bounds, trace.write_locs, trace.write_vals
+    a = rb[start]
+    wa = wb[start]
+    for i in range(start, stop):
+        b = rb[i + 1]
+        while a < b:
+            loc = rl[a]
+            if loc not in live_out and loc not in live_in:
+                live_in[loc] = rv[a]
+            a += 1
+        b = wb[i + 1]
+        while wa < b:
+            live_out[wl[wa]] = wv[wa]
+            wa += 1
+    return TraceSpan(
+        start=start,
+        stop=stop,
+        start_pc=trace.pcs[start],
+        next_pc=trace.next_pcs[stop - 1],
+        live_ins=tuple(live_in.items()),
+        live_outs=tuple(live_out.items()),
+    )
+
+
 def spans_from_ranges(
-    trace: Trace | Sequence[DynInst], ranges: Sequence[tuple[int, int]]
+    trace: AnyTrace | Sequence[DynInst], ranges: Sequence[tuple[int, int]]
 ) -> list[TraceSpan]:
     """Build spans for explicit ``(start, stop)`` ranges."""
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    instructions = stream_of(trace)
     return [span_from_range(instructions, a, b) for a, b in ranges]
 
 
 def maximal_reusable_spans(
-    trace: Trace | Sequence[DynInst],
+    trace: AnyTrace | Sequence[DynInst],
     flags: Sequence[bool],
 ) -> list[TraceSpan]:
     """Partition the stream into maximal runs of reusable instructions.
@@ -175,8 +210,20 @@ def maximal_reusable_spans(
     the resulting spans upper-bound what any trace-reuse scheme can
     cover, using the minimum number of reuse operations.
     """
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
-    if len(flags) != len(instructions):
+    if isinstance(trace, ColumnarTrace):
+        n = len(trace)
+
+        def make_span(a: int, b: int) -> TraceSpan:
+            return _span_from_columnar(trace, a, b)
+
+    else:
+        instructions = stream_of(trace)
+        n = len(instructions)
+
+        def make_span(a: int, b: int) -> TraceSpan:
+            return span_from_range(instructions, a, b)
+
+    if len(flags) != n:
         raise ValueError("flags must align with the instruction stream")
     spans: list[TraceSpan] = []
     start: int | None = None
@@ -184,10 +231,10 @@ def maximal_reusable_spans(
         if flag and start is None:
             start = i
         elif not flag and start is not None:
-            spans.append(span_from_range(instructions, start, i))
+            spans.append(make_span(start, i))
             start = None
     if start is not None:
-        spans.append(span_from_range(instructions, start, len(instructions)))
+        spans.append(make_span(start, n))
     return spans
 
 

@@ -27,6 +27,18 @@ class ExperimentConfig:
     workloads: tuple[str, ...] = tuple(FP_SUITE + INT_SUITE)
     #: worker processes for the benchmark fan-out (None = one per core)
     max_workers: int | None = None
+    #: consult the persistent trace/profile cache (.repro-cache/)
+    use_cache: bool = True
+
+    def cache_key(self) -> tuple:
+        """The config fields a single benchmark profile depends on."""
+        return (
+            self.max_instructions,
+            self.scale,
+            self.window_size,
+            self.reuse_latencies,
+            self.proportional_ks,
+        )
 
     def fp_names(self) -> list[str]:
         """Configured workloads that belong to the FP suite."""

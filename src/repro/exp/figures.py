@@ -102,9 +102,12 @@ def _speedup_figure(
 
 
 def figure4(
-    profiles: Sequence[BenchmarkProfile], config: ExperimentConfig = ExperimentConfig()
+    profiles: Sequence[BenchmarkProfile],
+    config: ExperimentConfig | None = None,
 ) -> FigureResult:
     """ILR speed-up, infinite window (Figure 4a at 1 cycle, 4b sweep)."""
+    if config is None:
+        config = ExperimentConfig()
     return _speedup_figure(
         profiles,
         "fig4",
@@ -116,9 +119,12 @@ def figure4(
 
 
 def figure5(
-    profiles: Sequence[BenchmarkProfile], config: ExperimentConfig = ExperimentConfig()
+    profiles: Sequence[BenchmarkProfile],
+    config: ExperimentConfig | None = None,
 ) -> FigureResult:
     """ILR speed-up, 256-entry window (Figure 5a at 1 cycle, 5b sweep)."""
+    if config is None:
+        config = ExperimentConfig()
     return _speedup_figure(
         profiles,
         "fig5",
@@ -169,9 +175,12 @@ def figure7(profiles: Sequence[BenchmarkProfile]) -> FigureResult:
 
 
 def figure8(
-    profiles: Sequence[BenchmarkProfile], config: ExperimentConfig = ExperimentConfig()
+    profiles: Sequence[BenchmarkProfile],
+    config: ExperimentConfig | None = None,
 ) -> FigureResult:
     """TLR speed-up vs reuse latency, 256-entry window (Figure 8a/8b)."""
+    if config is None:
+        config = ExperimentConfig()
     result = FigureResult(
         figure_id="fig8",
         title="Figure 8: trace-level reuse speed-up vs reuse latency, "
@@ -266,7 +275,7 @@ def _fig9_task(
 
 
 def figure9(
-    config: ExperimentConfig = ExperimentConfig(),
+    config: ExperimentConfig | None = None,
     *,
     rtm_names: tuple[str, ...] = ("512", "4K", "32K", "256K"),
     heuristics: Sequence[Heuristic] | None = None,
@@ -277,6 +286,8 @@ def figure9(
     averaged arithmetically over the benchmark suite, exactly like the
     paper's bar chart.
     """
+    if config is None:
+        config = ExperimentConfig()
     heuristics = list(heuristics) if heuristics is not None else FIG9_HEURISTICS
     tasks = [
         (name, h, rtm_names, config.max_instructions, config.scale)

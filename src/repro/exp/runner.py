@@ -1,10 +1,20 @@
 """Per-benchmark analysis pipeline and the parallel fan-out.
 
 ``run_profile`` executes one kernel and derives every number figures
-3-8 and the section 4.5 statistics need.  ``collect_profiles`` fans
-the 14 kernels out over a process pool (each worker regenerates its
-own trace — cheaper than shipping multi-megabyte streams through
-pickles, per the owner-computes rule)."""
+3-8 and the section 4.5 statistics need.  Since the fused-engine
+rewrite the ~24 timing scenarios (base, ILR and TLR sweeps, both
+window sizes, plus the proportional-K family) are evaluated by one
+:class:`~repro.dataflow.model.FusedDataflowEngine` over a single
+dependence precompute, instead of ~24 independent
+``DataflowModel.analyze`` scans.  ``run_profile_reference`` keeps the
+original per-scenario pipeline (row-layout trace, one ``analyze`` per
+scenario) as the slow oracle for differential tests and as the honest
+pre-optimisation baseline for the engine benchmark.
+
+``collect_profiles`` fans the 14 kernels out over a process pool
+(each worker regenerates its own trace — cheaper than shipping
+multi-megabyte streams through pickles, per the owner-computes rule).
+"""
 
 from __future__ import annotations
 
@@ -18,10 +28,11 @@ from repro.core.reuse_tlr import (
 )
 from repro.core.stats import TraceIOStats, trace_io_stats
 from repro.core.traces import average_span_length, maximal_reusable_spans
-from repro.dataflow.model import DataflowModel
+from repro.dataflow.model import DataflowModel, FusedDataflowEngine, Scenario
 from repro.exp.config import ExperimentConfig
 from repro.util.parallel import parallel_map
-from repro.workloads.base import get_workload, run_workload
+from repro.vm import tracecache
+from repro.workloads.base import build_program, get_workload, run_workload
 
 
 @dataclass(slots=True)
@@ -47,12 +58,98 @@ class BenchmarkProfile:
     io_stats: TraceIOStats | None = None
 
 
-def run_profile(name: str, config: ExperimentConfig = ExperimentConfig()) -> BenchmarkProfile:
-    """Run one kernel and analyse it under every figure-3..8 scenario."""
+def run_profile(
+    name: str, config: ExperimentConfig | None = None
+) -> BenchmarkProfile:
+    """Run one kernel and analyse it under every figure-3..8 scenario.
+
+    All scenarios share one :class:`FusedDataflowEngine`, so the
+    stream's dependence structure is derived once and each scenario is
+    a single tight pass.  The numbers are bit-for-bit identical to
+    :func:`run_profile_reference`.
+
+    With ``config.use_cache`` (the default) the finished profile is
+    memoised in the persistent cache, keyed by the workload, the
+    analysis-relevant config fields and the code fingerprint — a warm
+    run skips VM execution *and* analysis.
+    """
+    if config is None:
+        config = ExperimentConfig()
+    if config.use_cache:
+        cached = tracecache.load_cached_profile(name, config.cache_key())
+        if isinstance(cached, BenchmarkProfile):
+            return cached
     workload = get_workload(name)
     trace = run_workload(
-        name, scale=config.scale, max_instructions=config.max_instructions
+        name,
+        scale=config.scale,
+        max_instructions=config.max_instructions,
+        use_cache=config.use_cache,
     )
+    reuse = instruction_reusability(trace)
+    spans = maximal_reusable_spans(trace, reuse.flags)
+
+    engine = FusedDataflowEngine(trace, flags=reuse.flags, spans=spans)
+    win = config.window_size
+    base_inf = engine.analyze(Scenario("base", window_size=None))
+    base_win = engine.analyze(Scenario("base", window_size=win))
+
+    profile = BenchmarkProfile(
+        name=name,
+        suite=workload.suite,
+        dynamic_count=len(trace),
+        percent_reusable=reuse.percent_reusable,
+        avg_trace_size=average_span_length(spans),
+        trace_count=len(spans),
+        base_ipc_inf=base_inf.ipc,
+        base_ipc_win=base_win.ipc,
+        io_stats=trace_io_stats(spans),
+    )
+
+    for latency in config.reuse_latencies:
+        lat = float(latency)
+        profile.ilr_speedup_inf[latency] = engine.analyze(
+            Scenario("ilr", window_size=None, latency=lat)
+        ).speedup_over(base_inf)
+        profile.ilr_speedup_win[latency] = engine.analyze(
+            Scenario("ilr", window_size=win, latency=lat)
+        ).speedup_over(base_win)
+        profile.tlr_speedup_inf[latency] = engine.analyze(
+            Scenario("tlr", window_size=None, latency=lat)
+        ).speedup_over(base_inf)
+        profile.tlr_speedup_win[latency] = engine.analyze(
+            Scenario("tlr", window_size=win, latency=lat)
+        ).speedup_over(base_win)
+
+    for k in config.proportional_ks:
+        profile.tlr_speedup_win_prop[k] = engine.analyze(
+            Scenario("tlr", window_size=win, k=k)
+        ).speedup_over(base_win)
+
+    if config.use_cache:
+        tracecache.store_cached_profile(name, config.cache_key(), profile)
+    return profile
+
+
+def run_profile_reference(
+    name: str, config: ExperimentConfig | None = None
+) -> BenchmarkProfile:
+    """The original per-scenario pipeline, kept as the slow oracle.
+
+    Executes the kernel through the step-interpreter
+    (:meth:`Machine.run_rows`), builds row-layout reuse plans, and
+    runs one :meth:`DataflowModel.analyze` scan per scenario — exactly
+    the pre-fused-engine code path.  Differential tests assert
+    equality with :func:`run_profile`; the engine benchmark measures
+    its wall-clock as the baseline.
+    """
+    if config is None:
+        config = ExperimentConfig()
+    from repro.vm.machine import Machine
+
+    workload = get_workload(name)
+    machine = Machine(build_program(name, config.scale))
+    trace = machine.run_rows(max_instructions=config.max_instructions)
     reuse = instruction_reusability(trace)
     spans = maximal_reusable_spans(trace, reuse.flags)
 
@@ -104,8 +201,10 @@ def _profile_task(args: tuple[str, ExperimentConfig]) -> BenchmarkProfile:
 
 
 def collect_profiles(
-    config: ExperimentConfig = ExperimentConfig(),
+    config: ExperimentConfig | None = None,
 ) -> list[BenchmarkProfile]:
     """Profiles for every configured workload, fanned out over cores."""
+    if config is None:
+        config = ExperimentConfig()
     tasks = [(name, config) for name in config.workloads]
     return parallel_map(_profile_task, tasks, max_workers=config.max_workers)

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from repro.core.rtm.simulator import FiniteReuseResult
 from repro.isa.opcodes import OpClass
 from repro.pipeline.config import UNPIPELINED, PipelineConfig
-from repro.vm.trace import DynInst, Trace
+from repro.vm.trace import AnyTrace, DynInst, stream_of
 
 
 class _Slot:
@@ -153,7 +153,7 @@ class PipelineModel:
     # ------------------------------------------------------------------
     def simulate(
         self,
-        trace: Trace | Sequence[DynInst],
+        trace: AnyTrace | Sequence[DynInst],
         reuse: FiniteReuseResult | None = None,
     ) -> PipelineResult:
         """Run the core over a stream, optionally with reuse decisions.
@@ -161,7 +161,7 @@ class PipelineModel:
         ``reuse`` must come from a :class:`FiniteReuseSimulator` run
         over the *same* stream.
         """
-        stream = trace.instructions if isinstance(trace, Trace) else list(trace)
+        stream = stream_of(trace)
         items = self._build_fetch_stream(stream, reuse)
         config = self.config
 

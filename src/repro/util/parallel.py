@@ -13,6 +13,7 @@ locally (the "owner computes" rule).
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -40,14 +41,23 @@ def parallel_map(
     Falls back to a serial loop for tiny inputs (process start-up costs
     more than it saves) and when ``max_workers`` is 1, which also makes
     the function safe to call from within a worker process.
+
+    Workers are started with the explicit ``spawn`` context — the same
+    start method on every platform, and safe in threaded parents where
+    ``fork`` can deadlock.  ``pool.map`` gets a computed ``chunksize``
+    so many small tasks ship in batches instead of one IPC round-trip
+    each.
     """
     items = list(items)
     if max_workers is None:
         max_workers = default_worker_count(len(items))
     if len(items) < serial_threshold or max_workers <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(fn, items))
+    # ~4 chunks per worker balances batching against load imbalance
+    chunksize = max(1, len(items) // (max_workers * 4))
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
 
 
 def chunked(items: Sequence[T], chunk_size: int) -> Iterable[Sequence[T]]:

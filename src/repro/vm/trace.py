@@ -6,10 +6,28 @@ wrote **and the values involved**, which is exactly the information
 the paper's reuse analyses need.  Locations use the flat integer
 encoding from :mod:`repro.isa.registers` so registers and memory flow
 through the same dependence tables.
+
+Two trace containers exist:
+
+- :class:`Trace` — the original row layout, a list of
+  :class:`DynInst` records;
+- :class:`ColumnarTrace` — a struct-of-arrays layout built on the
+  stdlib :mod:`array` module (pc / op / latency / next-pc columns plus
+  flattened read/write location and value columns with per-instruction
+  offsets).  :meth:`repro.vm.machine.Machine.run` emits this form
+  natively; it is cheaper to hold, pickle and cache than forty
+  thousand ``DynInst`` objects, and the fused dataflow engine and the
+  reusability/liveness analyses consume its columns directly.
+
+``ColumnarTrace`` is duck-compatible with ``Trace`` (``len``,
+iteration, indexing, ``instructions``, metadata attributes), so every
+consumer of the row layout keeps working; row records are materialised
+lazily and cached on first access.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
@@ -135,10 +153,272 @@ class Trace:
         return hist
 
 
-def slice_trace(trace: Trace, start: int, stop: int) -> Trace:
+#: Opcode lookup by integer value (cheaper than the EnumMeta call).
+_OPCODE_BY_VALUE: dict[int, Opcode] = {int(op): op for op in Opcode}
+
+
+class ColumnarTrace:
+    """A captured dynamic stream in struct-of-arrays layout.
+
+    Columns
+    -------
+    ``pcs`` / ``ops`` / ``lats`` / ``next_pcs``
+        One fixed-width entry per dynamic instruction.
+    ``read_locs`` / ``read_vals`` (and the ``write_*`` twins)
+        The flattened per-instruction read/write pairs; instruction
+        ``i`` owns the half-open slice ``read_bounds[i] :
+        read_bounds[i+1]``.  Locations live in ``array('q')``; values
+        stay in a plain list because a value may be a 64-bit int or an
+        IEEE double and must round-trip exactly.
+    """
+
+    __slots__ = (
+        "program_name", "halted", "truncated",
+        "pcs", "ops", "lats", "next_pcs",
+        "read_bounds", "read_locs", "read_vals",
+        "write_bounds", "write_locs", "write_vals",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        program_name: str = "<anonymous>",
+        halted: bool = False,
+        truncated: bool = False,
+    ) -> None:
+        self.program_name = program_name
+        self.halted = halted
+        self.truncated = truncated
+        self.pcs = array("i")
+        self.ops = array("h")
+        self.lats = array("h")
+        self.next_pcs = array("i")
+        self.read_bounds = array("I", (0,))
+        self.read_locs = array("q")
+        self.read_vals: list = []
+        self.write_bounds = array("I", (0,))
+        self.write_locs = array("q")
+        self.write_vals: list = []
+        self._rows: list[DynInst] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        pc: int,
+        op: int,
+        reads: Sequence[tuple[int, int | float]],
+        writes: Sequence[tuple[int, int | float]],
+        latency: int,
+        next_pc: int,
+    ) -> None:
+        """Append one dynamic instruction from (location, value) pairs."""
+        self.pcs.append(pc)
+        self.ops.append(op)
+        self.lats.append(latency)
+        self.next_pcs.append(next_pc)
+        rloc, rval = self.read_locs, self.read_vals
+        for loc, val in reads:
+            rloc.append(loc)
+            rval.append(val)
+        self.read_bounds.append(len(rloc))
+        wloc, wval = self.write_locs, self.write_vals
+        for loc, val in writes:
+            wloc.append(loc)
+            wval.append(val)
+        self.write_bounds.append(len(wloc))
+        self._rows = None
+
+    def append_flat(
+        self,
+        pc: int,
+        op: int,
+        reads_flat: Sequence,
+        writes_flat: Sequence,
+        latency: int,
+        next_pc: int,
+    ) -> None:
+        """Append from interleaved ``[loc, value, loc, value, ...]`` lists
+        (the tracefile wire layout)."""
+        if len(reads_flat) % 2 or len(writes_flat) % 2:
+            raise ValueError("odd-length location/value list")
+        self.pcs.append(pc)
+        self.ops.append(op)
+        self.lats.append(latency)
+        self.next_pcs.append(next_pc)
+        self.read_locs.extend(reads_flat[::2])
+        self.read_vals.extend(reads_flat[1::2])
+        self.read_bounds.append(len(self.read_locs))
+        self.write_locs.extend(writes_flat[::2])
+        self.write_vals.extend(writes_flat[1::2])
+        self.write_bounds.append(len(self.write_locs))
+        self._rows = None
+
+    @classmethod
+    def from_rows(
+        cls,
+        pcs: Sequence[int],
+        ops: Sequence[int],
+        reads: Sequence[Sequence[tuple[int, int | float]]],
+        writes: Sequence[Sequence[tuple[int, int | float]]],
+        lats: Sequence[int],
+        next_pcs: Sequence[int],
+        *,
+        program_name: str = "<anonymous>",
+        halted: bool = False,
+        truncated: bool = False,
+    ) -> "ColumnarTrace":
+        """Bulk-build from parallel row lists (the ``Machine.run`` path)."""
+        ct = cls(program_name=program_name, halted=halted, truncated=truncated)
+        ct.pcs = array("i", pcs)
+        ct.ops = array("h", ops)
+        ct.lats = array("h", lats)
+        ct.next_pcs = array("i", next_pcs)
+        rloc, rval, rb = ct.read_locs, ct.read_vals, ct.read_bounds
+        for pairs in reads:
+            for loc, val in pairs:
+                rloc.append(loc)
+                rval.append(val)
+            rb.append(len(rloc))
+        wloc, wval, wb = ct.write_locs, ct.write_vals, ct.write_bounds
+        for pairs in writes:
+            for loc, val in pairs:
+                wloc.append(loc)
+                wval.append(val)
+            wb.append(len(wloc))
+        return ct
+
+    @classmethod
+    def from_trace(cls, trace: "Trace | Sequence[DynInst]") -> "ColumnarTrace":
+        """Convert a row-layout trace (or any ``DynInst`` sequence)."""
+        if isinstance(trace, ColumnarTrace):
+            return trace
+        insts = trace.instructions if isinstance(trace, Trace) else list(trace)
+        ct = cls(
+            program_name=getattr(trace, "program_name", "<anonymous>"),
+            halted=getattr(trace, "halted", False),
+            truncated=getattr(trace, "truncated", False),
+        )
+        for d in insts:
+            ct.append(d.pc, int(d.op), d.reads, d.writes, d.latency, d.next_pc)
+        return ct
+
+    # ------------------------------------------------------------------
+    # columnar access
+    # ------------------------------------------------------------------
+    def reads_of(self, i: int) -> tuple[tuple[int, int | float], ...]:
+        """Read pairs of instruction ``i`` (same shape as DynInst.reads)."""
+        a, b = self.read_bounds[i], self.read_bounds[i + 1]
+        return tuple(zip(self.read_locs[a:b], self.read_vals[a:b]))
+
+    def writes_of(self, i: int) -> tuple[tuple[int, int | float], ...]:
+        """Write pairs of instruction ``i``."""
+        a, b = self.write_bounds[i], self.write_bounds[i + 1]
+        return tuple(zip(self.write_locs[a:b], self.write_vals[a:b]))
+
+    def inst(self, i: int) -> DynInst:
+        """Materialise instruction ``i`` as a row record."""
+        return DynInst(
+            pc=self.pcs[i],
+            op=_OPCODE_BY_VALUE[self.ops[i]],
+            reads=self.reads_of(i),
+            writes=self.writes_of(i),
+            latency=self.lats[i],
+            next_pc=self.next_pcs[i],
+        )
+
+    # ------------------------------------------------------------------
+    # Trace-compatible API
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> list[DynInst]:
+        """Row records, materialised lazily and cached."""
+        rows = self._rows
+        if rows is None:
+            rows = [self.inst(i) for i in range(len(self.pcs))]
+            self._rows = rows
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.instructions[index]
+        return self._rows[index] if self._rows is not None else self.inst(index)
+
+    @property
+    def dynamic_count(self) -> int:
+        """Number of dynamic instructions captured."""
+        return len(self.pcs)
+
+    def static_pcs(self) -> set[int]:
+        """The set of distinct static PCs that executed."""
+        return set(self.pcs)
+
+    def opcode_histogram(self) -> dict[Opcode, int]:
+        """Dynamic opcode mix (no row materialisation needed)."""
+        hist: dict[int, int] = {}
+        for op in self.ops:
+            hist[op] = hist.get(op, 0) + 1
+        return {_OPCODE_BY_VALUE[op]: n for op, n in hist.items()}
+
+    def class_histogram(self) -> dict[OpClass, int]:
+        """Dynamic operation-class mix."""
+        hist: dict[OpClass, int] = {}
+        for op, n in self.opcode_histogram().items():
+            cls = op_class(op)
+            hist[cls] = hist.get(cls, 0) + n
+        return hist
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTrace({self.program_name!r}, n={len(self.pcs)}, "
+            f"halted={self.halted}, truncated={self.truncated})"
+        )
+
+    # Arrays pickle as compact bytes; drop the materialisation cache so
+    # cached trace files and pool transfers stay small.
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__
+                if slot != "_rows"}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._rows = None
+
+
+AnyTrace = Trace | ColumnarTrace
+
+
+def stream_of(trace: "AnyTrace | Sequence[DynInst]") -> Sequence[DynInst]:
+    """The ``DynInst`` sequence behind any trace-like argument.
+
+    Accepts either trace layout or a plain sequence of records; the
+    uniform entry point analyses use instead of per-call-site
+    ``isinstance`` ladders.
+    """
+    if isinstance(trace, (Trace, ColumnarTrace)):
+        return trace.instructions
+    return trace
+
+
+def as_columnar(trace: "AnyTrace | Sequence[DynInst]") -> ColumnarTrace:
+    """The columnar view of any trace-like argument (converting if needed)."""
+    if isinstance(trace, ColumnarTrace):
+        return trace
+    return ColumnarTrace.from_trace(trace)
+
+
+def slice_trace(trace: "AnyTrace", start: int, stop: int) -> Trace:
     """A sub-range of a trace as a new :class:`Trace` (shares records)."""
     return Trace(
-        instructions=trace.instructions[start:stop],
+        instructions=stream_of(trace)[start:stop],
         program_name=trace.program_name,
         halted=False,
         truncated=True,

@@ -1,0 +1,280 @@
+"""Persistent on-disk cache for dynamic traces and benchmark profiles.
+
+Every pytest session and every figure regeneration used to re-execute
+all 14 VM kernels from scratch, although the kernels are deterministic:
+the trace is a pure function of the assembly source, the VM semantics
+and the instruction budget.  This module memoises that function on
+disk, plus one level up — the fully analysed
+:class:`~repro.exp.runner.BenchmarkProfile` — so a warm run of
+``collect_profiles`` skips both VM execution *and* the dataflow
+analysis.
+
+Layout (under :func:`cache_dir`, default ``.repro-cache/``)::
+
+    .repro-cache/
+        traces/<workload>-s<scale>-n<budget>-<key>.trace   (tracefile v2)
+        profiles/<workload>-n<budget>-<key>.pkl            (pickled profile)
+
+Keys are sha256 digests over everything the cached value depends on:
+the workload's *generated assembly source* (which folds in the
+workload name, scale and generator code) plus the source text of the
+modules that define the semantics — the ISA and VM for traces, and
+additionally the analysis stack for profiles.  Any edit to those
+modules changes the digest and silently invalidates old entries; stale
+files are only reclaimed by ``repro cache clear``.
+
+Knobs
+-----
+
+``REPRO_CACHE_DIR``
+    Overrides the cache directory (default: ``.repro-cache`` under the
+    current working directory).
+``REPRO_TRACE_CACHE=0``
+    Kill switch: disables both lookups and stores.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent run can never leave a truncated entry behind; unreadable or
+corrupt entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import inspect
+import os
+import pathlib
+import pickle
+import tempfile
+from functools import lru_cache
+from typing import Any
+
+from repro.vm.trace import ColumnarTrace
+from repro.vm.tracefile import TraceFileError, load_trace, save_trace
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Modules whose source defines what a trace *is*: editing any of them
+#: invalidates every cached trace.
+TRACE_MODULES = (
+    "repro.isa.opcodes",
+    "repro.isa.registers",
+    "repro.vm.program",
+    "repro.vm.assembler",
+    "repro.vm.machine",
+    "repro.vm.trace",
+)
+
+#: Modules that additionally define what a profile is (the analysis
+#: stack on top of the trace).
+ANALYSIS_MODULES = TRACE_MODULES + (
+    "repro.baselines.ilr",
+    "repro.core.traces",
+    "repro.core.stats",
+    "repro.core.reuse_tlr",
+    "repro.dataflow.model",
+    "repro.exp.runner",
+)
+
+
+def cache_enabled() -> bool:
+    """False when the ``REPRO_TRACE_CACHE=0`` kill switch is set."""
+    return os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
+
+
+def cache_dir() -> pathlib.Path:
+    """The cache root (``REPRO_CACHE_DIR`` or ``.repro-cache``)."""
+    return pathlib.Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+@lru_cache(maxsize=None)
+def _modules_digest(module_names: tuple[str, ...]) -> str:
+    """sha256 over the concatenated source text of the named modules.
+
+    Acts as the code fingerprint in cache keys: any semantic change to
+    the VM or the analysis stack shows up in the source and therefore
+    in the digest.
+    """
+    h = hashlib.sha256()
+    for name in module_names:
+        module = importlib.import_module(name)
+        h.update(name.encode())
+        h.update(inspect.getsource(module).encode())
+    return h.hexdigest()
+
+
+def _entry_key(digest: str, *parts: Any) -> str:
+    h = hashlib.sha256(digest.encode())
+    for part in parts:
+        h.update(repr(part).encode())
+    return h.hexdigest()[:20]
+
+
+def _budget_tag(max_instructions: int | None) -> str:
+    return "all" if max_instructions is None else str(max_instructions)
+
+
+def _atomic_write(path: pathlib.Path, write_fn) -> None:
+    """Write via ``write_fn(tmp_path)`` then atomically rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    os.close(fd)
+    tmp = pathlib.Path(tmp_name)
+    try:
+        write_fn(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+# ----------------------------------------------------------------------
+# trace layer
+# ----------------------------------------------------------------------
+
+def trace_path(
+    name: str,
+    scale: int,
+    max_instructions: int | None,
+    source_text: str,
+) -> pathlib.Path:
+    """Cache file path for one (workload, scale, budget) trace.
+
+    ``source_text`` is the workload's generated assembly (passed in by
+    the caller so this module needs no workload-registry import).
+    """
+    key = _entry_key(
+        _modules_digest(TRACE_MODULES), name, scale, max_instructions,
+        source_text,
+    )
+    fname = f"{name}-s{scale}-n{_budget_tag(max_instructions)}-{key}.trace"
+    return cache_dir() / "traces" / fname
+
+
+def load_cached_trace(
+    name: str,
+    scale: int,
+    max_instructions: int | None,
+    source_text: str,
+) -> ColumnarTrace | None:
+    """The cached trace, or None on a miss (including corrupt files)."""
+    if not cache_enabled():
+        return None
+    path = trace_path(name, scale, max_instructions, source_text)
+    if not path.is_file():
+        return None
+    try:
+        trace = load_trace(path)
+    except (TraceFileError, OSError):
+        return None
+    return trace if isinstance(trace, ColumnarTrace) else None
+
+
+def store_cached_trace(
+    name: str,
+    scale: int,
+    max_instructions: int | None,
+    source_text: str,
+    trace: ColumnarTrace,
+) -> None:
+    """Persist a trace (no-op when the cache is disabled)."""
+    if not cache_enabled():
+        return
+    path = trace_path(name, scale, max_instructions, source_text)
+    _atomic_write(path, lambda tmp: save_trace(trace, tmp, format="v2"))
+
+
+# ----------------------------------------------------------------------
+# profile layer
+# ----------------------------------------------------------------------
+
+def profile_path(name: str, config_key: tuple) -> pathlib.Path:
+    """Cache file path for one analysed benchmark profile.
+
+    ``config_key`` is the tuple of config fields the profile depends
+    on (budget, scale, window size, latency sweeps) — built by the
+    caller from its ``ExperimentConfig``.
+    """
+    key = _entry_key(_modules_digest(ANALYSIS_MODULES), name, config_key)
+    budget = config_key[0] if config_key else None
+    fname = f"{name}-n{_budget_tag(budget)}-{key}.pkl"
+    return cache_dir() / "profiles" / fname
+
+
+def load_cached_profile(name: str, config_key: tuple) -> Any | None:
+    """The cached profile object, or None on a miss."""
+    if not cache_enabled():
+        return None
+    path = profile_path(name, config_key)
+    if not path.is_file():
+        return None
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+
+
+def store_cached_profile(name: str, config_key: tuple, profile: Any) -> None:
+    """Persist a profile (no-op when the cache is disabled)."""
+    if not cache_enabled():
+        return
+    path = profile_path(name, config_key)
+
+    def write(tmp: pathlib.Path) -> None:
+        with open(tmp, "wb") as fh:
+            pickle.dump(profile, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    _atomic_write(path, write)
+
+
+# ----------------------------------------------------------------------
+# maintenance
+# ----------------------------------------------------------------------
+
+def cache_info() -> dict[str, Any]:
+    """Entry counts and byte totals per layer, for ``repro cache info``."""
+    root = cache_dir()
+    info: dict[str, Any] = {
+        "dir": str(root),
+        "enabled": cache_enabled(),
+        "traces": 0,
+        "trace_bytes": 0,
+        "profiles": 0,
+        "profile_bytes": 0,
+    }
+    for sub, count_key, bytes_key in (
+        ("traces", "traces", "trace_bytes"),
+        ("profiles", "profiles", "profile_bytes"),
+    ):
+        directory = root / sub
+        if not directory.is_dir():
+            continue
+        for entry in directory.iterdir():
+            if entry.is_file() and not entry.name.endswith(".tmp"):
+                info[count_key] += 1
+                info[bytes_key] += entry.stat().st_size
+    return info
+
+
+def clear_cache() -> int:
+    """Delete every cache entry; returns the number of files removed."""
+    root = cache_dir()
+    removed = 0
+    for sub in ("traces", "profiles"):
+        directory = root / sub
+        if not directory.is_dir():
+            continue
+        for entry in directory.iterdir():
+            if entry.is_file():
+                entry.unlink()
+                removed += 1
+        try:
+            directory.rmdir()
+        except OSError:
+            pass
+    return removed

@@ -5,10 +5,11 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.vm import tracecache
 from repro.vm.assembler import assemble
 from repro.vm.machine import Machine
 from repro.vm.program import Program
-from repro.vm.trace import Trace
+from repro.vm.trace import ColumnarTrace
 
 #: Suite order follows the paper's figures (FP first, then INT).
 FP_SUITE = ["applu", "apsi", "fpppp", "hydro2d", "su2cor", "tomcatv", "turb3d"]
@@ -79,14 +80,36 @@ def build_program(name: str, scale: int = 1) -> Program:
 
 
 def run_workload(
-    name: str, *, scale: int = 1, max_instructions: int | None = 60_000
-) -> Trace:
+    name: str,
+    *,
+    scale: int = 1,
+    max_instructions: int | None = 60_000,
+    use_cache: bool = True,
+) -> ColumnarTrace:
     """Assemble and execute a kernel, capturing its dynamic trace.
 
     Kernels contain outer repetition loops sized well beyond any
     realistic budget, so the run is normally truncated at
     ``max_instructions`` — the analogue of the paper's fixed 50M
     instruction window per program.
+
+    Kernels are deterministic, so the trace is memoised on disk via
+    :mod:`repro.vm.tracecache` (keyed by the generated assembly source
+    and the VM code fingerprint); pass ``use_cache=False`` — or set
+    ``REPRO_TRACE_CACHE=0`` — to force re-execution.
     """
-    machine = Machine(build_program(name, scale))
-    return machine.run(max_instructions=max_instructions)
+    workload = get_workload(name)
+    source = workload.source(scale)
+    if use_cache:
+        cached = tracecache.load_cached_trace(
+            name, scale, max_instructions, source
+        )
+        if cached is not None:
+            return cached
+    machine = Machine(assemble(source, name=name))
+    trace = machine.run(max_instructions=max_instructions)
+    if use_cache:
+        tracecache.store_cached_trace(
+            name, scale, max_instructions, source, trace
+        )
+    return trace

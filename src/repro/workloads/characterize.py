@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.exp.figures import FigureResult
 from repro.isa.opcodes import OpClass
 from repro.isa.registers import loc_is_mem
-from repro.vm.trace import DynInst, Trace
+from repro.vm.trace import AnyTrace, DynInst, stream_of
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,9 +42,9 @@ class WorkloadCharacter:
     top10_pc_share: float
 
 
-def characterize(trace: Trace | Sequence[DynInst]) -> WorkloadCharacter:
+def characterize(trace: AnyTrace | Sequence[DynInst]) -> WorkloadCharacter:
     """Compute :class:`WorkloadCharacter` for a stream."""
-    instructions = trace.instructions if isinstance(trace, Trace) else trace
+    instructions = stream_of(trace)
     n = len(instructions)
     if n == 0:
         return WorkloadCharacter(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0.0)

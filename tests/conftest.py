@@ -9,6 +9,26 @@ from repro.vm.machine import Machine
 from repro.vm.trace import Trace
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the persistent trace cache at a throwaway directory.
+
+    Keeps unit-test runs hermetic: nothing leaks into the repo's
+    ``.repro-cache/`` and no stale entry from an earlier run can mask
+    a behaviour change under test.
+    """
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 def run_asm(source: str, max_instructions: int | None = 100_000) -> tuple[Machine, Trace]:
     """Assemble and run a snippet; returns the machine and its trace."""
     machine = Machine(assemble(source))

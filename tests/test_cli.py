@@ -61,10 +61,11 @@ class TestCommands:
 
         original = cli.ExperimentConfig
 
-        def tiny(max_instructions):
+        def tiny(max_instructions, **kwargs):
             return original(
                 max_instructions=min(max_instructions, 1500),
                 workloads=("compress", "applu"),
+                **kwargs,
             )
 
         monkeypatch.setattr(cli, "ExperimentConfig", tiny)

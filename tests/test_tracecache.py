@@ -1,0 +1,110 @@
+"""The persistent trace/profile cache: round-trips, keys, knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import run_profile
+from repro.vm import tracecache
+from repro.workloads.base import run_workload
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """A fresh, empty cache directory for one test."""
+    target = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+    return target
+
+
+def traces_equal(a, b) -> bool:
+    return (
+        len(a) == len(b)
+        and a.program_name == b.program_name
+        and a.halted == b.halted
+        and a.truncated == b.truncated
+        and [repr(d) for d in a] == [repr(d) for d in b]
+    )
+
+
+class TestTraceLayer:
+    def test_hit_equals_recompute(self, cache_dir):
+        cold = run_workload("li", max_instructions=500)
+        assert tracecache.cache_info()["traces"] == 1
+        warm = run_workload("li", max_instructions=500)
+        assert traces_equal(cold, warm)
+        # still one entry: the warm run must not have re-stored
+        assert tracecache.cache_info()["traces"] == 1
+
+    def test_budget_is_part_of_the_key(self, cache_dir):
+        run_workload("li", max_instructions=300)
+        run_workload("li", max_instructions=400)
+        assert tracecache.cache_info()["traces"] == 2
+
+    def test_use_cache_false_bypasses(self, cache_dir):
+        run_workload("li", max_instructions=300, use_cache=False)
+        assert not cache_dir.exists()
+
+    def test_kill_switch(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        run_workload("li", max_instructions=300)
+        assert not cache_dir.exists()
+
+    def test_corrupt_entry_is_a_miss(self, cache_dir):
+        cold = run_workload("li", max_instructions=300)
+        (entry,) = (cache_dir / "traces").iterdir()
+        entry.write_bytes(b"garbage")
+        recomputed = run_workload("li", max_instructions=300)
+        assert traces_equal(cold, recomputed)
+
+    def test_no_tmp_files_left_behind(self, cache_dir):
+        run_workload("li", max_instructions=300)
+        leftovers = [
+            p for p in (cache_dir / "traces").iterdir()
+            if p.name.endswith(".tmp")
+        ]
+        assert not leftovers
+
+
+class TestProfileLayer:
+    def test_hit_equals_recompute(self, cache_dir):
+        config = ExperimentConfig(max_instructions=1_500)
+        cold = run_profile("compress", config)
+        assert tracecache.cache_info()["profiles"] == 1
+        warm = run_profile("compress", config)
+        assert warm == cold  # dataclass equality over every field
+
+    def test_warm_profile_equals_uncached_run(self, cache_dir):
+        cached = ExperimentConfig(max_instructions=1_500)
+        run_profile("compress", cached)  # populate
+        warm = run_profile("compress", cached)
+        fresh = run_profile(
+            "compress", ExperimentConfig(max_instructions=1_500, use_cache=False)
+        )
+        assert warm == fresh
+
+    def test_config_key_sensitivity(self, cache_dir):
+        run_profile("li", ExperimentConfig(max_instructions=1_000))
+        run_profile(
+            "li", ExperimentConfig(max_instructions=1_000, window_size=128)
+        )
+        assert tracecache.cache_info()["profiles"] == 2
+
+
+class TestMaintenance:
+    def test_info_and_clear(self, cache_dir):
+        run_workload("li", max_instructions=300)
+        run_profile("li", ExperimentConfig(max_instructions=300))
+        info = tracecache.cache_info()
+        assert info["traces"] == 1 and info["profiles"] == 1
+        assert info["trace_bytes"] > 0 and info["profile_bytes"] > 0
+        assert tracecache.clear_cache() == 2
+        info = tracecache.cache_info()
+        assert info["traces"] == 0 and info["profiles"] == 0
+
+    def test_clear_empty_cache(self, cache_dir):
+        assert tracecache.clear_cache() == 0
+
+    def test_cache_dir_env_override(self, cache_dir):
+        assert tracecache.cache_dir() == cache_dir

@@ -70,6 +70,71 @@ class TestRoundTrip:
         )
 
 
+class TestColumnarV2:
+    def test_v2_round_trip(self, tmp_path):
+        from repro.vm.trace import ColumnarTrace
+
+        _, trace = run_asm("li r1, 5\nmuli r2, r1, 3\nfli f1, 0.5\nhalt")
+        path = tmp_path / "t.trace"
+        save_trace(trace, path, format="v2")
+        loaded = load_trace(path)
+        assert isinstance(loaded, ColumnarTrace)
+        assert loaded.program_name == trace.program_name
+        assert loaded.halted == trace.halted
+        assert loaded.truncated == trace.truncated
+        assert [repr(d) for d in loaded] == [repr(d) for d in trace]
+
+    def test_v2_gzip_round_trip(self, tmp_path):
+        _, trace = run_asm("li r1, 5\nhalt")
+        path = tmp_path / "t.trace.gz"
+        save_trace(trace, path, format="v2")
+        assert [repr(d) for d in load_trace(path)] == [repr(d) for d in trace]
+
+    def test_cross_format_same_stream(self, tmp_path):
+        """v1 and v2 files of the same trace decode to the same stream."""
+        trace = run_workload("li", max_instructions=400, use_cache=False)
+        v1, v2 = tmp_path / "t.jsonl", tmp_path / "t.trace"
+        save_trace(trace, v1, format="v1")
+        save_trace(trace, v2, format="v2")
+        a, b = load_trace(v1), load_trace(v2)
+        assert [repr(d) for d in a] == [repr(d) for d in b]
+        assert a.program_name == b.program_name == "li"
+
+    def test_v2_analyses_agree(self, tmp_path):
+        from repro.baselines.ilr import instruction_reusability
+
+        trace = run_workload("compress", max_instructions=2_000, use_cache=False)
+        path = tmp_path / "c.trace"
+        save_trace(trace, path, format="v2")
+        assert (
+            instruction_reusability(load_trace(path)).percent_reusable
+            == instruction_reusability(trace).percent_reusable
+        )
+
+    def test_unknown_format_rejected(self, tmp_path):
+        _, trace = run_asm("halt")
+        with pytest.raises(TraceFileError, match="unknown trace format"):
+            save_trace(trace, tmp_path / "t.bin", format="v3")
+
+    def test_bad_v2_payload(self, tmp_path):
+        from repro.vm.tracefile import MAGIC_V2
+
+        path = tmp_path / "bad.trace"
+        path.write_bytes(MAGIC_V2 + b"\x00not a pickle")
+        with pytest.raises(TraceFileError, match="bad v2 payload"):
+            load_trace(path)
+
+    def test_v2_payload_wrong_type(self, tmp_path):
+        import pickle
+
+        from repro.vm.tracefile import MAGIC_V2
+
+        path = tmp_path / "wrong.trace"
+        path.write_bytes(MAGIC_V2 + pickle.dumps([1, 2, 3]))
+        with pytest.raises(TraceFileError, match="not a trace"):
+            load_trace(path)
+
+
 class TestErrors:
     def test_empty_file(self, tmp_path):
         path = tmp_path / "e.jsonl"
