@@ -40,8 +40,21 @@ def config() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def profiles(config):
-    """Per-benchmark analysis profiles, computed once per session."""
-    return collect_profiles(config)
+    """Per-benchmark analysis profiles, computed once per session.
+
+    The sweep records a run manifest (see :mod:`repro.obs`) when the
+    cache is enabled; a kernel that fails to profile fails the whole
+    benchmark session loudly rather than silently thinning the
+    figures.
+    """
+    run = collect_profiles(config)
+    if not run.ok:
+        detail = "; ".join(
+            f"{f.name}: {f.kind}: {f.message}" for f in run.failures
+        )
+        manifest = f" (manifest: {run.manifest_path})" if run.manifest_path else ""
+        raise RuntimeError(f"profile sweep had failures{manifest}: {detail}")
+    return run
 
 
 @pytest.fixture

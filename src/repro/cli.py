@@ -23,6 +23,11 @@ Commands
     Inspect or wipe the persistent trace/profile cache
     (``.repro-cache/``; see ``repro.vm.tracecache``).  Commands that
     execute kernels accept ``--no-cache`` to bypass it.
+``obs {list,show}``
+    Inspect the JSONL run manifests that ``figures`` (and the
+    benchmark suite) record under ``<cache_dir>/runs/`` — per-kernel
+    status, timings, retries, cache hit/miss counters.  See
+    :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -117,6 +122,16 @@ def _cmd_figures(args) -> int:
         max_instructions=args.budget, use_cache=not args.no_cache
     )
     profiles = collect_profiles(config)
+    for failure in getattr(profiles, "failures", ()):
+        print(
+            f"warning: kernel {failure.name} failed after "
+            f"{failure.attempts} attempt(s): {failure.kind}: "
+            f"{failure.message}; figures exclude it",
+            file=sys.stderr,
+        )
+    if not profiles:
+        print("error: no kernel produced a profile", file=sys.stderr)
+        return 1
     for result in (
         figure3(profiles),
         figure4(profiles, config),
@@ -133,11 +148,17 @@ def _cmd_figures(args) -> int:
             max_instructions=args.fig9_budget, use_cache=not args.no_cache
         )
         print(render(figure9(fig9_config)))
+    if getattr(profiles, "manifest_path", None) is not None:
+        print(f"run manifest: {profiles.manifest_path}", file=sys.stderr)
     return 0
 
 
 def _cmd_rtm(args) -> int:
-    trace = run_workload(args.workload, max_instructions=args.budget)
+    trace = run_workload(
+        args.workload,
+        max_instructions=args.budget,
+        use_cache=not args.no_cache,
+    )
     heuristics = [ILRHeuristic(False), ILRHeuristic(True),
                   FixedLengthHeuristic(4)]
     rows = []
@@ -182,6 +203,7 @@ def _cmd_cache(args) -> int:
         [
             ["traces", info["traces"], info["trace_bytes"]],
             ["profiles", info["profiles"], info["profile_bytes"]],
+            ["runs", info["runs"], info["run_bytes"]],
         ],
     ))
     return 0
@@ -192,8 +214,88 @@ def _cmd_characterize(args) -> int:
     from repro.workloads.characterize import suite_characterization
 
     names = args.workloads or (FP_SUITE + INT_SUITE)
-    fig = suite_characterization(names, max_instructions=args.budget)
+    fig = suite_characterization(
+        names, max_instructions=args.budget, use_cache=not args.no_cache
+    )
     print(render(fig))
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro import obs
+
+    if args.action == "list":
+        rows = []
+        for path in obs.list_runs():
+            summary = obs.summarize(obs.read_events(path))
+            kernels = summary["kernels"]
+            failed = sum(1 for k in kernels.values() if k["status"] == "failed")
+            ok = sum(1 for k in kernels.values() if k["status"] == "ok")
+            rows.append([
+                summary["run_id"] or path.stem.removeprefix("run-"),
+                ok,
+                failed,
+                len(summary["resumed"]),
+                "-" if summary["seconds"] is None
+                else f"{summary['seconds']:.2f}",
+                "yes" if summary["complete"] else "no (interrupted?)",
+            ])
+        if not rows:
+            print(f"no run manifests under {obs.runs_dir()}")
+            return 0
+        print(format_table(
+            ["run", "ok", "failed", "resumed", "seconds", "complete"], rows,
+            title=f"Recorded runs ({obs.runs_dir()})",
+        ))
+        return 0
+
+    try:
+        path = obs.find_run(args.run)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = obs.summarize(obs.read_events(path))
+    print(f"manifest: {path}")
+    if not summary["complete"]:
+        print("note: no run_end event — the run was interrupted")
+    kernel_rows = [
+        [
+            name,
+            entry["status"],
+            entry["source"] or "-",
+            entry["attempts"],
+            "-" if entry["seconds"] is None else f"{entry['seconds']:.3f}",
+            "; ".join(entry["errors"]) or "-",
+        ]
+        for name, entry in summary["kernels"].items()
+    ]
+    print(format_table(
+        ["kernel", "status", "source", "attempts", "seconds", "errors"],
+        kernel_rows,
+        title=f"Run {summary['run_id']} "
+        f"({summary['seconds']:.2f}s)" if summary["seconds"] is not None
+        else f"Run {summary['run_id']}",
+    ))
+    if summary["counters"]:
+        print()
+        print(format_table(
+            ["counter", "count"],
+            sorted(summary["counters"].items()),
+            title="Counters",
+        ))
+    if summary["timers"]:
+        print()
+        print(format_table(
+            ["timer", "seconds", "calls"],
+            [[name, f"{entry['seconds']:.3f}", entry["calls"]]
+             for name, entry in sorted(summary["timers"].items())],
+            title="Stage timers",
+        ))
+    failed = [n for n, k in summary["kernels"].items()
+              if k["status"] == "failed"]
+    if failed:
+        print()
+        print(f"failed kernels: {', '.join(failed)}")
     return 0
 
 
@@ -233,6 +335,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_rtm.add_argument("--budget", type=int, default=12_000)
     p_rtm.add_argument("--sizes", nargs="+", default=["512", "4K"],
                        choices=list(RTM_PRESETS))
+    p_rtm.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent trace cache")
 
     p_dis = sub.add_parser("disasm", help="disassemble a kernel")
     p_dis.add_argument("workload")
@@ -240,9 +344,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch = sub.add_parser("characterize", help="workload suite statistics")
     p_ch.add_argument("workloads", nargs="*")
     p_ch.add_argument("--budget", type=int, default=10_000)
+    p_ch.add_argument("--no-cache", action="store_true",
+                      help="bypass the persistent trace cache")
 
     p_cache = sub.add_parser("cache", help="inspect or wipe the trace cache")
     p_cache.add_argument("action", choices=["info", "clear"])
+
+    p_obs = sub.add_parser("obs", help="inspect recorded run manifests")
+    p_obs.add_argument("action", choices=["list", "show"])
+    p_obs.add_argument("run", nargs="?", default="latest",
+                       help="run id (or unique prefix) for 'show'; "
+                       "defaults to the most recent run")
     return parser
 
 
@@ -255,6 +367,7 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "characterize": _cmd_characterize,
     "cache": _cmd_cache,
+    "obs": _cmd_obs,
 }
 
 

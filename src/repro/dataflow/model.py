@@ -25,9 +25,12 @@ dependence analysis (section 4):
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.obs import profiling_enabled
+from repro.obs.telemetry import current as _telemetry
 from repro.vm.trace import AnyTrace, DynInst, stream_of
 
 
@@ -257,6 +260,12 @@ class FusedDataflowEngine:
     def __init__(self, trace, *, flags=None, spans=None):
         from repro.vm.trace import as_columnar
 
+        #: per-scenario profiling records when ``REPRO_PROFILE=1``
+        #: (:func:`repro.obs.profiling_enabled` is sampled at engine
+        #: construction); ``None`` keeps the hot path branch-free-ish.
+        self.profile_records: list[dict] | None = (
+            [] if profiling_enabled() else None
+        )
         ct = as_columnar(trace)
         n = len(ct)
         self.n = n
@@ -362,7 +371,34 @@ class FusedDataflowEngine:
         return [scenario.latency] * len(self.spans)
 
     def analyze(self, scenario: Scenario) -> TimingResult:
-        """Evaluate one scenario (see :meth:`analyze_all` for many)."""
+        """Evaluate one scenario (see :meth:`analyze_all` for many).
+
+        With ``REPRO_PROFILE=1`` (checked at engine construction) each
+        call appends a record to :attr:`profile_records` — scenario
+        descriptor, wall seconds, and instruction throughput — and
+        folds the timing into the current telemetry registry under
+        ``engine.<kind>``.
+        """
+        if self.profile_records is None:
+            return self._dispatch(scenario)
+        t0 = time.perf_counter()
+        result = self._dispatch(scenario)
+        seconds = time.perf_counter() - t0
+        self.profile_records.append({
+            "kind": scenario.kind,
+            "window_size": scenario.window_size,
+            "latency": scenario.latency if scenario.k is None else None,
+            "k": scenario.k,
+            "seconds": seconds,
+            "instructions": self.n,
+            "instructions_per_second": self.n / seconds if seconds > 0 else 0.0,
+        })
+        registry = _telemetry()
+        registry.add_time(f"engine.{scenario.kind}", seconds)
+        registry.incr("engine.instructions_analyzed", self.n)
+        return result
+
+    def _dispatch(self, scenario: Scenario) -> TimingResult:
         if scenario.kind == "base":
             return self._pass_base(scenario.window_size)
         if scenario.kind == "ilr":

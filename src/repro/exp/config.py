@@ -2,9 +2,25 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.workloads.base import FP_SUITE, INT_SUITE
+
+#: Config fields that do NOT change what a single benchmark profile
+#: *is* — execution/orchestration knobs only.  Everything else is
+#: folded into the profile cache key automatically, so adding a new
+#: semantic field can never silently alias two different runs onto one
+#: cached entry.  (``workloads`` lists which kernels run, not how any
+#: one of them is analysed.)
+_NON_SEMANTIC_FIELDS = frozenset({
+    "workloads",
+    "max_workers",
+    "use_cache",
+    "task_timeout",
+    "task_retries",
+    "retry_backoff",
+})
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,15 +45,28 @@ class ExperimentConfig:
     max_workers: int | None = None
     #: consult the persistent trace/profile cache (.repro-cache/)
     use_cache: bool = True
+    #: wall-clock seconds allowed per kernel in ``collect_profiles``
+    #: (None = no limit); a kernel that exceeds it is recorded as
+    #: failed instead of stalling the whole sweep
+    task_timeout: float | None = None
+    #: extra attempts after a kernel's first failure
+    task_retries: int = 1
+    #: base seconds slept before attempt n+1 (doubles per retry)
+    retry_backoff: float = 0.05
 
     def cache_key(self) -> tuple:
-        """The config fields a single benchmark profile depends on."""
-        return (
-            self.max_instructions,
-            self.scale,
-            self.window_size,
-            self.reuse_latencies,
-            self.proportional_ks,
+        """Every analysis-relevant config field, as (name, value) pairs.
+
+        Derived from the dataclass fields minus the explicit
+        ``_NON_SEMANTIC_FIELDS`` exclusion list, so a future semantic
+        field is part of the key by default: two configs that differ
+        in *any* analysed setting (budget, window size, latency
+        sweeps, ...) always produce distinct profile cache entries.
+        """
+        return tuple(
+            (f.name, getattr(self, f.name))
+            for f in dataclasses.fields(self)
+            if f.name not in _NON_SEMANTIC_FIELDS
         )
 
     def fp_names(self) -> list[str]:

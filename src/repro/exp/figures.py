@@ -253,11 +253,14 @@ FIG9_HEURISTICS: list[Heuristic] = [
 
 
 def _fig9_task(
-    args: tuple[str, Heuristic, tuple[str, ...], int, int]
+    args: tuple[str, Heuristic, tuple[str, ...], int, int, bool]
 ) -> list[tuple[str, str, str, float, float]]:
     """One worker: one benchmark x one heuristic across all RTM sizes."""
-    name, heuristic, rtm_names, max_instructions, scale = args
-    trace = run_workload(name, scale=scale, max_instructions=max_instructions)
+    name, heuristic, rtm_names, max_instructions, scale, use_cache = args
+    trace = run_workload(
+        name, scale=scale, max_instructions=max_instructions,
+        use_cache=use_cache,
+    )
     out = []
     for rtm_name in rtm_names:
         sim = FiniteReuseSimulator(RTM_PRESETS[rtm_name], heuristic)
@@ -290,7 +293,8 @@ def figure9(
         config = ExperimentConfig()
     heuristics = list(heuristics) if heuristics is not None else FIG9_HEURISTICS
     tasks = [
-        (name, h, rtm_names, config.max_instructions, config.scale)
+        (name, h, rtm_names, config.max_instructions, config.scale,
+         config.use_cache)
         for h in heuristics
         for name in config.workloads
     ]

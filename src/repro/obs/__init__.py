@@ -1,0 +1,66 @@
+"""Observability: structured telemetry, run manifests, and logging.
+
+The experiment stack got fast (the fused engine) and persistent (the
+trace cache); this package makes it *watchable* and *diagnosable*:
+
+- :mod:`repro.obs.telemetry` — named counters and stage timers, scoped
+  per task and mergeable across processes;
+- :mod:`repro.obs.manifest` — append-only JSONL run manifests under
+  ``<cache_dir>/runs/``, one event per line, summarized by the
+  ``repro obs`` CLI subcommand;
+- :func:`get_logger` — the shared ``repro.obs`` logger through which
+  recoverable infrastructure trouble (corrupt cache entries, worker
+  crashes, retries) is reported as warnings instead of being swallowed.
+
+``REPRO_PROFILE=1`` additionally turns on per-scenario profiling in
+:class:`~repro.dataflow.model.FusedDataflowEngine` (wall time and
+instruction throughput per analysis pass); see
+:func:`profiling_enabled`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+from repro.obs.manifest import (
+    RunManifest,
+    find_run,
+    list_runs,
+    read_events,
+    runs_dir,
+    summarize,
+)
+from repro.obs.telemetry import Telemetry, current, incr, scope, time_stage
+
+__all__ = [
+    "RunManifest",
+    "Telemetry",
+    "current",
+    "find_run",
+    "get_logger",
+    "incr",
+    "list_runs",
+    "profiling_enabled",
+    "read_events",
+    "runs_dir",
+    "scope",
+    "summarize",
+    "time_stage",
+]
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro.obs`` logger (or a child of it).
+
+    Unconfigured applications still see warnings on stderr via
+    ``logging.lastResort``; anything beyond that is the embedder's
+    logging configuration, as usual.
+    """
+    base = "repro.obs"
+    return logging.getLogger(f"{base}.{name}" if name else base)
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE=1`` asks for per-scenario profiling."""
+    return os.environ.get("REPRO_PROFILE", "0") not in ("", "0")

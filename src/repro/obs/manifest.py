@@ -1,0 +1,220 @@
+"""JSONL run manifests: one append-only file per experiment run.
+
+A *run* is one ``collect_profiles`` invocation (a figure sweep, a
+benchmark session, a CI smoke run).  Its manifest is a JSON-lines file
+under ``<cache_dir>/runs/`` where every line is one event::
+
+    {"event": "run_start",  "t": ..., "run_id": ..., "schema": 1,
+     "workloads": [...], "config": {...}}
+    {"event": "profile_start", "t": ..., "name": ..., "attempt": 1}
+    {"event": "profile_done",  "t": ..., "name": ..., "attempt": 1,
+     "seconds": ..., "source": "computed"|"cache",
+     "telemetry": {"counters": {...}, "timers": {...}}}
+    {"event": "profile_error", "t": ..., "name": ..., "attempt": 1,
+     "kind": "RuntimeError", "message": ..., "will_retry": bool}
+    {"event": "retry",         "t": ..., "name": ..., "attempt": 2,
+     "backoff": 0.05}
+    {"event": "worker_crash",  "t": ..., "in_flight": [...]}
+    {"event": "fallback_sequential", "t": ..., "remaining": [...]}
+    {"event": "run_end",       "t": ..., "ok": [...], "failed": [...],
+     "resumed": [...], "seconds": ...}
+
+Writes are append-one-line-per-event with an ``fsync``-free flush: a
+killed run leaves a readable prefix (at worst one truncated final
+line, which :func:`read_events` tolerates), so the manifest is exactly
+as durable as the work it describes.  The ``repro obs`` CLI renders
+these files; :func:`summarize` is the shared reduction it uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any
+
+from repro.obs import telemetry
+
+#: Manifest schema version, bumped on incompatible event changes.
+SCHEMA_VERSION = 1
+
+#: Per-process sequence number so two runs in one second stay distinct.
+_SEQ = 0
+
+
+def runs_dir() -> pathlib.Path:
+    """``<cache_dir>/runs`` (honours ``REPRO_CACHE_DIR``)."""
+    from repro.vm import tracecache
+
+    return tracecache.cache_dir() / "runs"
+
+
+def _new_run_id() -> str:
+    global _SEQ
+    _SEQ += 1
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return f"{stamp}-p{os.getpid()}-{_SEQ}"
+
+
+class RunManifest:
+    """Append-only JSONL event writer for one run.
+
+    The file is opened and closed per event: with a handful of kernels
+    per run the overhead is irrelevant and every event is on disk the
+    moment it happened — which is the whole point when a worker is
+    about to take the process down.
+    """
+
+    def __init__(self, run_id: str | None = None,
+                 directory: pathlib.Path | None = None):
+        self.run_id = run_id or _new_run_id()
+        directory = directory if directory is not None else runs_dir()
+        self.path = directory / f"run-{self.run_id}.jsonl"
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event line (creating the runs directory lazily)."""
+        record = {"event": event, "t": time.time(), **fields}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        telemetry.incr("manifest.events")
+
+    def start(self, workloads: tuple[str, ...], config: dict[str, Any]) -> None:
+        self.emit(
+            "run_start",
+            run_id=self.run_id,
+            schema=SCHEMA_VERSION,
+            workloads=list(workloads),
+            config=config,
+        )
+
+    def end(self, ok: list[str], failed: list[str], resumed: list[str],
+            seconds: float) -> None:
+        self.emit(
+            "run_end", ok=ok, failed=failed, resumed=resumed,
+            seconds=seconds,
+        )
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+def read_events(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Parse a manifest, skipping unparseable (e.g. truncated) lines.
+
+    A run killed mid-write leaves at most a truncated final line;
+    treating bad lines as absent keeps every completed event readable.
+    """
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                telemetry.incr("manifest.bad_lines")
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+    return events
+
+
+def list_runs(directory: pathlib.Path | None = None) -> list[pathlib.Path]:
+    """Manifest paths, oldest first (by modification time)."""
+    directory = directory if directory is not None else runs_dir()
+    if not directory.is_dir():
+        return []
+    paths = [
+        p for p in directory.iterdir()
+        if p.is_file() and p.name.startswith("run-") and p.suffix == ".jsonl"
+    ]
+    return sorted(paths, key=lambda p: (p.stat().st_mtime, p.name))
+
+
+def find_run(run_id: str, directory: pathlib.Path | None = None) -> pathlib.Path:
+    """Resolve ``latest`` or a (possibly abbreviated) run id to a path."""
+    runs = list_runs(directory)
+    if not runs:
+        raise FileNotFoundError("no run manifests recorded yet")
+    if run_id == "latest":
+        return runs[-1]
+    matches = [p for p in runs if run_id in p.name]
+    if not matches:
+        raise FileNotFoundError(f"no run manifest matching {run_id!r}")
+    return matches[-1]
+
+
+def summarize(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Reduce a run's events to the shape ``repro obs show`` renders.
+
+    Returns::
+
+        {"run_id": ..., "workloads": [...], "seconds": ...,
+         "kernels": {name: {"status": "ok"|"failed"|"missing",
+                            "source": ..., "seconds": ..., "attempts": n,
+                            "errors": [...]}},
+         "counters": {...}, "timers": {...},
+         "worker_crashes": n, "resumed": [...], "complete": bool}
+    """
+    kernels: dict[str, dict[str, Any]] = {}
+    totals = telemetry.Telemetry()
+    summary: dict[str, Any] = {
+        "run_id": None,
+        "workloads": [],
+        "seconds": None,
+        "kernels": kernels,
+        "worker_crashes": 0,
+        "resumed": [],
+        "complete": False,
+    }
+
+    def kernel(name: str) -> dict[str, Any]:
+        return kernels.setdefault(
+            name,
+            {"status": "missing", "source": None, "seconds": None,
+             "attempts": 0, "errors": []},
+        )
+
+    for record in events:
+        event = record.get("event")
+        if event == "run_start":
+            summary["run_id"] = record.get("run_id")
+            summary["workloads"] = list(record.get("workloads", []))
+            for name in summary["workloads"]:
+                kernel(name)
+        elif event == "profile_start":
+            entry = kernel(record["name"])
+            entry["attempts"] = max(entry["attempts"],
+                                    int(record.get("attempt", 1)))
+        elif event == "profile_done":
+            entry = kernel(record["name"])
+            entry["status"] = "ok"
+            entry["source"] = record.get("source", "computed")
+            entry["seconds"] = record.get("seconds")
+            entry["attempts"] = max(entry["attempts"],
+                                    int(record.get("attempt", 1)))
+            totals.merge(record.get("telemetry", {}))
+        elif event == "profile_error":
+            entry = kernel(record["name"])
+            if entry["status"] != "ok":
+                entry["status"] = "failed"
+            entry["attempts"] = max(entry["attempts"],
+                                    int(record.get("attempt", 1)))
+            entry["errors"].append(
+                f"{record.get('kind', 'Error')}: {record.get('message', '')}"
+            )
+        elif event == "worker_crash":
+            summary["worker_crashes"] += 1
+        elif event == "run_end":
+            summary["seconds"] = record.get("seconds")
+            summary["resumed"] = list(record.get("resumed", []))
+            summary["complete"] = True
+
+    snap = totals.snapshot()
+    summary["counters"] = snap["counters"]
+    summary["timers"] = snap["timers"]
+    return summary

@@ -14,9 +14,13 @@ cycle by cycle:
   hazards never confuse wake-up.
 - **issue**: up to ``issue_width`` ready slots per cycle, oldest
   first, subject to per-class functional-unit availability; divide
-  and square-root units are unpipelined.  A trace-reuse slot needs no
-  functional unit (the reuse engine performs the state update) but
-  does consume dispatch bandwidth.
+  and square-root units are unpipelined and allocated in *program
+  order* — a younger divide never steals the unit from an older,
+  not-yet-ready one (age-ordered scheduling; without it a wider
+  front end could finish *later* than a narrow one by letting a
+  younger long-latency op jump the queue).  A trace-reuse slot needs
+  no functional unit (the reuse engine performs the state update)
+  but does consume dispatch bandwidth.
 - **commit**: in order, up to ``commit_width`` slots per cycle; a
   trace slot commits its whole instruction count at once (the RTM
   writes all outputs in one state update, section 3.3).
@@ -202,20 +206,32 @@ class PipelineModel:
             # ---- issue (oldest first) --------------------------------
             budget = config.issue_width
             pipelined_used: dict[OpClass, int] = {}
+            # An unpipelined class closes for younger slots once an
+            # older slot of that class failed to issue this cycle:
+            # letting a younger divide grab the unit would make its
+            # multi-cycle occupancy delay program-order-earlier work.
+            blocked: set[OpClass] = set()
             for slot in rob:
                 if budget == 0:
                     break
-                if slot.done_cycle is not None or not slot.ready(cycle):
+                if slot.done_cycle is not None:
                     continue
                 cls = slot.op_class
+                if not slot.ready(cycle):
+                    if cls in UNPIPELINED:
+                        blocked.add(cls)
+                    continue
                 if cls is None:
                     slot.done_cycle = cycle + slot.latency
                     budget -= 1
                     continue
                 if cls in UNPIPELINED:
+                    if cls in blocked:
+                        continue  # an older divide has first claim
                     units = unpipelined_free[cls]
                     unit = min(range(len(units)), key=units.__getitem__)
                     if units[unit] > cycle:
+                        blocked.add(cls)
                         continue  # all units busy
                     units[unit] = cycle + slot.latency
                 else:

@@ -9,24 +9,50 @@ library works on a laptop with no MPI installation.
 Workers receive picklable task descriptions, never live ``Machine``
 objects, so the fan-out stays cheap and the workers re-derive state
 locally (the "owner computes" rule).
+
+A worker that *dies* (OOM kill, segfaulting extension, ``kill -9``)
+breaks the whole ``ProcessPoolExecutor``; the stdlib surfaces that as
+an opaque ``BrokenProcessPool`` with no hint of what was running.
+``parallel_map`` instead reports which items were in flight through
+the ``repro.obs`` logger and finishes the unfinished items
+sequentially in the parent — on the theory that a dead worker is an
+environment problem (memory pressure, external kill), not a property
+of the item it happened to be holding.  Deterministic exceptions
+*raised by* ``fn`` are not retried or swallowed; they propagate to the
+caller exactly as before.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import reprlib
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import TypeVar
+
+from repro.obs import get_logger, incr
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+_log = get_logger("parallel")
+
+_repr = reprlib.Repr()
+_repr.maxother = 60
+_repr.maxstring = 60
 
 
 def default_worker_count(task_count: int) -> int:
     """Pick a worker count: never more workers than tasks or cores."""
     cores = os.cpu_count() or 1
     return max(1, min(task_count, cores))
+
+
+def _apply_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
+    """Worker body: map ``fn`` over one batch of items."""
+    return [fn(item) for item in chunk]
 
 
 def parallel_map(
@@ -44,9 +70,13 @@ def parallel_map(
 
     Workers are started with the explicit ``spawn`` context — the same
     start method on every platform, and safe in threaded parents where
-    ``fork`` can deadlock.  ``pool.map`` gets a computed ``chunksize``
-    so many small tasks ship in batches instead of one IPC round-trip
-    each.
+    ``fork`` can deadlock.  Items ship in computed-size chunks so many
+    small tasks batch instead of paying one IPC round-trip each.
+
+    If a worker process dies, the items it may have been holding are
+    named in a warning and every not-yet-finished chunk is computed
+    sequentially in the parent, so one crashed worker degrades the run
+    instead of losing it.
     """
     items = list(items)
     if max_workers is None:
@@ -55,9 +85,53 @@ def parallel_map(
         return [fn(item) for item in items]
     # ~4 chunks per worker balances batching against load imbalance
     chunksize = max(1, len(items) // (max_workers * 4))
+    starts = list(range(0, len(items), chunksize))
+    chunks = {start: items[start : start + chunksize] for start in starts}
+
+    results: list = [None] * len(items)
+    crashed_at: int | None = None
     context = multiprocessing.get_context("spawn")
     with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+        futures = {
+            start: pool.submit(_apply_chunk, fn, chunks[start])
+            for start in starts
+        }
+        for start in starts:
+            try:
+                chunk_result = futures[start].result()
+            except BrokenProcessPool:
+                crashed_at = start
+                break
+            for offset, value in enumerate(chunk_result):
+                results[start + offset] = value
+
+    # the pool is dead, but chunks that finished *before* the crash
+    # still hold results — salvage those, redo the rest locally
+    unfinished: list[int] = []
+    if crashed_at is not None:
+        for start in starts[starts.index(crashed_at):]:
+            fut = futures[start]
+            if fut.done() and not fut.cancelled() and fut.exception() is None:
+                for offset, value in enumerate(fut.result()):
+                    results[start + offset] = value
+            else:
+                unfinished.append(start)
+
+    if unfinished:
+        incr("parallel.worker_crash")
+        in_flight = [
+            _repr.repr(item) for s in unfinished for item in chunks[s]
+        ]
+        _log.warning(
+            "a worker process died; items possibly in flight: %s — "
+            "finishing %d item(s) sequentially in the parent",
+            ", ".join(in_flight[:8]) + (" ..." if len(in_flight) > 8 else ""),
+            sum(len(chunks[s]) for s in unfinished),
+        )
+        for s in unfinished:
+            for offset, item in enumerate(chunks[s]):
+                results[s + offset] = fn(item)
+    return results
 
 
 def chunked(items: Sequence[T], chunk_size: int) -> Iterable[Sequence[T]]:

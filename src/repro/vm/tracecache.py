@@ -49,8 +49,11 @@ import tempfile
 from functools import lru_cache
 from typing import Any
 
+from repro.obs import get_logger, incr
 from repro.vm.trace import ColumnarTrace
 from repro.vm.tracefile import TraceFileError, load_trace, save_trace
+
+_log = get_logger("tracecache")
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -165,12 +168,21 @@ def load_cached_trace(
         return None
     path = trace_path(name, scale, max_instructions, source_text)
     if not path.is_file():
+        incr("trace_cache.miss")
         return None
     try:
         trace = load_trace(path)
-    except (TraceFileError, OSError):
+    except (TraceFileError, OSError) as exc:
+        _log.warning("corrupt trace cache entry %s (%s); treating as a miss",
+                     path, exc)
+        incr("trace_cache.corrupt")
+        incr("trace_cache.miss")
         return None
-    return trace if isinstance(trace, ColumnarTrace) else None
+    if not isinstance(trace, ColumnarTrace):
+        incr("trace_cache.miss")
+        return None
+    incr("trace_cache.hit")
+    return trace
 
 
 def store_cached_trace(
@@ -185,6 +197,7 @@ def store_cached_trace(
         return
     path = trace_path(name, scale, max_instructions, source_text)
     _atomic_write(path, lambda tmp: save_trace(trace, tmp, format="v2"))
+    incr("trace_cache.store")
 
 
 # ----------------------------------------------------------------------
@@ -194,12 +207,14 @@ def store_cached_trace(
 def profile_path(name: str, config_key: tuple) -> pathlib.Path:
     """Cache file path for one analysed benchmark profile.
 
-    ``config_key`` is the tuple of config fields the profile depends
-    on (budget, scale, window size, latency sweeps) — built by the
-    caller from its ``ExperimentConfig``.
+    ``config_key`` is :meth:`ExperimentConfig.cache_key`'s tuple of
+    ``(field_name, value)`` pairs covering every analysis-relevant
+    config field — the full config minus execution knobs like worker
+    counts, so two runs that differ in any semantic setting (budget,
+    window, latency sweeps, ...) can never alias to one entry.
     """
     key = _entry_key(_modules_digest(ANALYSIS_MODULES), name, config_key)
-    budget = config_key[0] if config_key else None
+    budget = dict(config_key).get("max_instructions")
     fname = f"{name}-n{_budget_tag(budget)}-{key}.pkl"
     return cache_dir() / "profiles" / fname
 
@@ -210,13 +225,20 @@ def load_cached_profile(name: str, config_key: tuple) -> Any | None:
         return None
     path = profile_path(name, config_key)
     if not path.is_file():
+        incr("profile_cache.miss")
         return None
     try:
         with open(path, "rb") as fh:
-            return pickle.load(fh)
+            profile = pickle.load(fh)
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError, IndexError):
+            ImportError, IndexError) as exc:
+        _log.warning("corrupt profile cache entry %s (%s); treating as a "
+                     "miss", path, exc)
+        incr("profile_cache.corrupt")
+        incr("profile_cache.miss")
         return None
+    incr("profile_cache.hit")
+    return profile
 
 
 def store_cached_profile(name: str, config_key: tuple, profile: Any) -> None:
@@ -230,6 +252,7 @@ def store_cached_profile(name: str, config_key: tuple, profile: Any) -> None:
             pickle.dump(profile, fh, protocol=pickle.HIGHEST_PROTOCOL)
 
     _atomic_write(path, write)
+    incr("profile_cache.store")
 
 
 # ----------------------------------------------------------------------
@@ -246,10 +269,13 @@ def cache_info() -> dict[str, Any]:
         "trace_bytes": 0,
         "profiles": 0,
         "profile_bytes": 0,
+        "runs": 0,
+        "run_bytes": 0,
     }
     for sub, count_key, bytes_key in (
         ("traces", "traces", "trace_bytes"),
         ("profiles", "profiles", "profile_bytes"),
+        ("runs", "runs", "run_bytes"),
     ):
         directory = root / sub
         if not directory.is_dir():
@@ -262,7 +288,12 @@ def cache_info() -> dict[str, Any]:
 
 
 def clear_cache() -> int:
-    """Delete every cache entry; returns the number of files removed."""
+    """Delete every cached trace/profile; returns the removal count.
+
+    Run manifests under ``runs/`` are deliberately kept: they are the
+    observability record of *past* runs, not derived data, and wiping
+    the cache is exactly when you want to be able to read them.
+    """
     root = cache_dir()
     removed = 0
     for sub in ("traces", "profiles"):

@@ -31,12 +31,31 @@ import pickle
 from collections.abc import Iterable
 
 from repro.isa.opcodes import Opcode
+from repro.obs import get_logger
 from repro.vm.trace import AnyTrace, ColumnarTrace, DynInst, Trace, as_columnar
 
 FORMAT_TAG = "repro-trace-v1"
 
 #: Leading bytes of a v2 (binary columnar) trace file.
 MAGIC_V2 = b"repro-trace-v2\x00"
+
+#: What a malformed/truncated v2 payload can legitimately raise:
+#: ``pickle.load``'s documented failure modes plus ``ValueError``
+#: (struct-level garbage) and ``OSError`` (short reads, bad gzip
+#: streams).  Anything outside this set — ``MemoryError``, interpreter
+#: state errors, genuine format-handling bugs — is *not* a corrupt
+#: file and must propagate instead of masquerading as a cache miss.
+EXPECTED_V2_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+    OSError,
+)
+
+_log = get_logger("tracefile")
 
 
 def _open(path: pathlib.Path, mode: str):
@@ -120,7 +139,8 @@ def load_trace(path: str | pathlib.Path) -> AnyTrace:
         if prefix == MAGIC_V2:
             try:
                 trace = pickle.load(bfh)
-            except Exception as exc:
+            except EXPECTED_V2_ERRORS as exc:
+                _log.warning("unreadable v2 trace file %s: %s", path, exc)
                 raise TraceFileError(f"{path}: bad v2 payload: {exc}") from exc
             if not isinstance(trace, ColumnarTrace):
                 raise TraceFileError(f"{path}: v2 payload is not a trace")

@@ -96,7 +96,8 @@ def characterize(trace: AnyTrace | Sequence[DynInst]) -> WorkloadCharacter:
 
 
 def suite_characterization(
-    workloads: Sequence[str], *, max_instructions: int = 10_000
+    workloads: Sequence[str], *, max_instructions: int = 10_000,
+    use_cache: bool = True,
 ) -> FigureResult:
     """Characterisation table over a set of kernels."""
     from repro.workloads.base import get_workload, run_workload
@@ -110,7 +111,8 @@ def suite_characterization(
         ],
     )
     for name in workloads:
-        trace = run_workload(name, max_instructions=max_instructions)
+        trace = run_workload(name, max_instructions=max_instructions,
+                             use_cache=use_cache)
         ch = characterize(trace)
         result.rows.append(
             [

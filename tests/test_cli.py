@@ -72,3 +72,92 @@ class TestCommands:
         assert main(["figures", "--budget", "1500"]) == 0
         out = capsys.readouterr().out
         assert "Figure 3" in out and "Figure 8" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "li", "--budget", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "li" in out and "bb_len" in out
+
+    def test_obs_round_trip_after_figures(self, capsys, monkeypatch,
+                                          tmp_path):
+        import repro.cli as cli
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        original = cli.ExperimentConfig
+
+        def tiny(max_instructions, **kwargs):
+            return original(
+                max_instructions=min(max_instructions, 1000),
+                workloads=("li",),
+                **kwargs,
+            )
+
+        monkeypatch.setattr(cli, "ExperimentConfig", tiny)
+        assert main(["figures", "--budget", "1000"]) == 0
+        err = capsys.readouterr().err
+        assert "run manifest:" in err
+        assert main(["obs", "list"]) == 0
+        assert main(["obs", "show", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "li" in out
+
+    def test_cache_info_lists_runs_layer(self, capsys, monkeypatch,
+                                         tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "runs" in out
+
+
+class TestNoCacheFlag:
+    """--no-cache (and REPRO_TRACE_CACHE=0) must mean *zero* cache
+    directory writes on every subcommand that executes kernels."""
+
+    @pytest.fixture
+    def cache_dir(self, tmp_path, monkeypatch):
+        target = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        return target
+
+    def test_run(self, cache_dir, capsys):
+        assert main(["run", "li", "--budget", "300", "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_analyze(self, cache_dir, capsys):
+        assert main(["analyze", "li", "--budget", "500", "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_rtm(self, cache_dir, capsys):
+        assert main(
+            ["rtm", "li", "--budget", "800", "--sizes", "512", "--no-cache"]
+        ) == 0
+        assert not cache_dir.exists()
+
+    def test_characterize(self, cache_dir, capsys):
+        assert main(["characterize", "li", "--budget", "500",
+                     "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_figures(self, cache_dir, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.exp.config import ExperimentConfig
+
+        original = cli.ExperimentConfig
+
+        def tiny(max_instructions, **kwargs):
+            return original(
+                max_instructions=min(max_instructions, 1000),
+                workloads=("li",),
+                **kwargs,
+            )
+
+        monkeypatch.setattr(cli, "ExperimentConfig", tiny)
+        assert main(["figures", "--budget", "1000", "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_kill_switch_env(self, cache_dir, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        assert main(["run", "li", "--budget", "300"]) == 0
+        assert main(["rtm", "li", "--budget", "500", "--sizes", "512"]) == 0
+        assert main(["characterize", "li", "--budget", "500"]) == 0
+        assert not cache_dir.exists()

@@ -1,0 +1,301 @@
+"""Telemetry registries, JSONL run manifests and the ``obs`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import telemetry
+from repro.obs.manifest import RunManifest
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """A fresh cache directory (manifests live under ``<it>/runs``)."""
+    target = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+    return target
+
+
+class TestTelemetry:
+    def test_counters_accumulate(self):
+        reg = telemetry.Telemetry()
+        reg.incr("a")
+        reg.incr("a", 4)
+        assert reg.snapshot()["counters"] == {"a": 5}
+
+    def test_timers_accumulate_calls(self):
+        reg = telemetry.Telemetry()
+        reg.add_time("stage", 0.25)
+        reg.add_time("stage", 0.75)
+        snap = reg.snapshot()["timers"]["stage"]
+        assert snap["seconds"] == pytest.approx(1.0)
+        assert snap["calls"] == 2
+
+    def test_time_context_manager(self):
+        reg = telemetry.Telemetry()
+        with reg.time("block"):
+            pass
+        snap = reg.snapshot()["timers"]["block"]
+        assert snap["calls"] == 1 and snap["seconds"] >= 0.0
+
+    def test_merge_folds_foreign_snapshot(self):
+        a = telemetry.Telemetry()
+        a.incr("x", 2)
+        a.add_time("t", 1.0)
+        b = telemetry.Telemetry()
+        b.incr("x", 3)
+        b.merge(a.snapshot())
+        snap = b.snapshot()
+        assert snap["counters"]["x"] == 5
+        assert snap["timers"]["t"]["seconds"] == pytest.approx(1.0)
+
+    def test_scope_isolates_and_merges_outward(self):
+        outer = telemetry.current()
+        before = outer.counters.get("scoped", 0)
+        with obs.scope() as inner:
+            obs.incr("scoped", 7)
+            assert inner.snapshot()["counters"]["scoped"] == 7
+            # the outer registry is untouched while the scope is open
+            assert outer.counters.get("scoped", 0) == before
+        assert outer.counters["scoped"] == before + 7
+
+    def test_nested_scopes(self):
+        with obs.scope() as a:
+            with obs.scope() as b:
+                obs.incr("deep")
+                assert b.counters == {"deep": 1}
+            assert a.counters == {"deep": 1}
+
+    def test_reset(self):
+        reg = telemetry.Telemetry()
+        reg.incr("gone")
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestProfilingEnabled:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not obs.profiling_enabled()
+
+    def test_zero_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert not obs.profiling_enabled()
+
+    def test_one_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert obs.profiling_enabled()
+
+
+class TestRunManifest:
+    def test_events_round_trip(self, cache_dir):
+        manifest = RunManifest()
+        manifest.start(("li", "gcc"), {"budget": 100})
+        manifest.emit("profile_done", name="li", attempt=1, seconds=0.5)
+        events = obs.read_events(manifest.path)
+        assert [e["event"] for e in events] == ["run_start", "profile_done"]
+        assert events[0]["workloads"] == ["li", "gcc"]
+        assert all("t" in e for e in events)
+
+    def test_truncated_final_line_tolerated(self, cache_dir):
+        manifest = RunManifest()
+        manifest.emit("run_start", run_id=manifest.run_id)
+        manifest.emit("profile_done", name="li")
+        # simulate a run killed mid-write: chop the last line in half
+        raw = manifest.path.read_bytes()
+        manifest.path.write_bytes(raw[: len(raw) - 20])
+        events = obs.read_events(manifest.path)
+        assert [e["event"] for e in events] == ["run_start"]
+
+    def test_manifests_live_under_cache_runs(self, cache_dir):
+        manifest = RunManifest()
+        manifest.emit("run_start")
+        assert manifest.path.parent == cache_dir / "runs"
+
+    def test_distinct_run_ids(self, cache_dir):
+        assert RunManifest().run_id != RunManifest().run_id
+
+    def test_list_runs_sorted_and_filtered(self, cache_dir):
+        for _ in range(2):
+            RunManifest().emit("run_start")
+        (cache_dir / "runs" / "not-a-manifest.txt").write_text("x")
+        runs = obs.list_runs()
+        assert len(runs) == 2
+        assert all(p.name.startswith("run-") for p in runs)
+
+    def test_find_run_latest_and_substring(self, cache_dir):
+        first = RunManifest(run_id="20250101-000000-p1-1")
+        first.emit("run_start")
+        second = RunManifest(run_id="20250101-000000-p1-2")
+        second.emit("run_start")
+        assert obs.find_run("latest") == second.path
+        assert obs.find_run("p1-1") == first.path
+        with pytest.raises(FileNotFoundError):
+            obs.find_run("nonexistent")
+
+    def test_find_run_empty_dir(self, cache_dir):
+        with pytest.raises(FileNotFoundError):
+            obs.find_run("latest")
+
+
+class TestSummarize:
+    def _events(self):
+        return [
+            {"event": "run_start", "run_id": "r1",
+             "workloads": ["li", "gcc", "swim"]},
+            {"event": "profile_start", "name": "li", "attempt": 1},
+            {"event": "profile_done", "name": "li", "attempt": 1,
+             "seconds": 0.4, "source": "computed",
+             "telemetry": {"counters": {"trace_cache.miss": 1},
+                           "timers": {"stage.trace":
+                                      {"seconds": 0.3, "calls": 1}}}},
+            {"event": "profile_start", "name": "gcc", "attempt": 1},
+            {"event": "profile_error", "name": "gcc", "attempt": 1,
+             "kind": "RuntimeError", "message": "boom", "will_retry": True},
+            {"event": "retry", "name": "gcc", "attempt": 2, "backoff": 0.05},
+            {"event": "profile_start", "name": "gcc", "attempt": 2},
+            {"event": "profile_error", "name": "gcc", "attempt": 2,
+             "kind": "RuntimeError", "message": "boom", "will_retry": False},
+            {"event": "worker_crash", "in_flight": ["swim"]},
+            {"event": "run_end", "ok": ["li"], "failed": ["gcc"],
+             "resumed": [], "seconds": 1.5},
+        ]
+
+    def test_statuses(self):
+        summary = obs.summarize(self._events())
+        kernels = summary["kernels"]
+        assert kernels["li"]["status"] == "ok"
+        assert kernels["li"]["source"] == "computed"
+        assert kernels["gcc"]["status"] == "failed"
+        assert kernels["gcc"]["attempts"] == 2
+        assert kernels["gcc"]["errors"] == ["RuntimeError: boom"] * 2
+        assert kernels["swim"]["status"] == "missing"
+
+    def test_totals_and_flags(self):
+        summary = obs.summarize(self._events())
+        assert summary["run_id"] == "r1"
+        assert summary["complete"] is True
+        assert summary["worker_crashes"] == 1
+        assert summary["seconds"] == 1.5
+        assert summary["counters"] == {"trace_cache.miss": 1}
+        assert summary["timers"]["stage.trace"]["calls"] == 1
+
+    def test_incomplete_run(self):
+        summary = obs.summarize(self._events()[:3])
+        assert summary["complete"] is False
+        assert summary["seconds"] is None
+
+    def test_error_then_success_is_ok(self):
+        events = [
+            {"event": "profile_error", "name": "li", "attempt": 1,
+             "kind": "RuntimeError", "message": "flaky"},
+            {"event": "profile_done", "name": "li", "attempt": 2,
+             "seconds": 0.1},
+        ]
+        entry = obs.summarize(events)["kernels"]["li"]
+        assert entry["status"] == "ok"
+        assert entry["attempts"] == 2
+
+
+class TestObsCli:
+    def test_list_empty(self, cache_dir, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "list"]) == 0
+        assert "no run manifests" in capsys.readouterr().out
+
+    def test_show_missing(self, cache_dir, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "show"]) == 1
+        assert "no run manifests" in capsys.readouterr().err
+
+    def test_list_and_show(self, cache_dir, capsys):
+        from repro.cli import main
+
+        manifest = RunManifest()
+        manifest.start(("li",), {"budget": 100})
+        manifest.emit("profile_done", name="li", attempt=1, seconds=0.25,
+                      source="computed", telemetry={"counters": {"c": 2}})
+        manifest.end(ok=["li"], failed=[], resumed=[], seconds=0.3)
+
+        assert main(["obs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert manifest.run_id in out and "yes" in out
+
+        assert main(["obs", "show", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "li" in out and "computed" in out and str(manifest.path) in out
+
+    def test_show_failed_kernels_listed(self, cache_dir, capsys):
+        from repro.cli import main
+
+        manifest = RunManifest()
+        manifest.start(("li", "gcc"), {})
+        manifest.emit("profile_error", name="gcc", attempt=1,
+                      kind="RuntimeError", message="boom", will_retry=False)
+        manifest.end(ok=["li"], failed=["gcc"], resumed=[], seconds=0.1)
+        assert main(["obs", "show"]) == 0
+        out = capsys.readouterr().out
+        assert "failed kernels: gcc" in out
+
+
+class TestEngineProfilingHooks:
+    def test_records_collected_when_enabled(self, monkeypatch,
+                                            tiny_loop_trace):
+        from repro.baselines.ilr import instruction_reusability
+        from repro.core.traces import maximal_reusable_spans
+        from repro.dataflow.model import FusedDataflowEngine, Scenario
+
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        reuse = instruction_reusability(tiny_loop_trace)
+        spans = maximal_reusable_spans(tiny_loop_trace, reuse.flags)
+        engine = FusedDataflowEngine(
+            tiny_loop_trace, flags=reuse.flags, spans=spans
+        )
+        engine.analyze(Scenario("base", window_size=None))
+        engine.analyze(Scenario("tlr", window_size=256, latency=1.0))
+        assert engine.profile_records is not None
+        assert len(engine.profile_records) == 2
+        record = engine.profile_records[0]
+        assert record["kind"] == "base"
+        assert record["instructions"] == len(tiny_loop_trace)
+        assert record["seconds"] >= 0.0
+        assert record["instructions_per_second"] > 0
+        assert json.dumps(engine.profile_records)  # JSON-able
+
+    def test_disabled_by_default(self, monkeypatch, tiny_loop_trace):
+        from repro.baselines.ilr import instruction_reusability
+        from repro.core.traces import maximal_reusable_spans
+        from repro.dataflow.model import FusedDataflowEngine, Scenario
+
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        reuse = instruction_reusability(tiny_loop_trace)
+        spans = maximal_reusable_spans(tiny_loop_trace, reuse.flags)
+        engine = FusedDataflowEngine(
+            tiny_loop_trace, flags=reuse.flags, spans=spans
+        )
+        engine.analyze(Scenario("base", window_size=None))
+        assert engine.profile_records is None
+
+    def test_analysis_timers_reported(self, monkeypatch, tiny_loop_trace):
+        from repro.baselines.ilr import instruction_reusability
+        from repro.core.traces import maximal_reusable_spans
+        from repro.dataflow.model import FusedDataflowEngine, Scenario
+
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        reuse = instruction_reusability(tiny_loop_trace)
+        spans = maximal_reusable_spans(tiny_loop_trace, reuse.flags)
+        with obs.scope() as registry:
+            engine = FusedDataflowEngine(
+                tiny_loop_trace, flags=reuse.flags, spans=spans
+            )
+            engine.analyze(Scenario("base", window_size=None))
+            snap = registry.snapshot()
+        assert snap["timers"]["engine.base"]["calls"] == 1
+        assert snap["counters"]["engine.instructions_analyzed"] == len(
+            tiny_loop_trace
+        )

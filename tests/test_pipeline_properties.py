@@ -99,3 +99,36 @@ def test_deterministic(stream):
     a = PipelineModel().simulate(stream)
     b = PipelineModel().simulate(stream)
     assert a.total_cycles == b.total_cycles
+
+
+def test_unpipelined_unit_priority_inversion_regression():
+    """A younger divide must not steal the single unpipelined unit
+    from an older, not-yet-ready divide.
+
+    Found by hypothesis: with greedy allocation, the wide machine
+    fetches both divides together, the younger (independent) one
+    grabs the unit, and the older divide — plus everything behind it
+    in the in-order commit stream — waits out the full occupancy.
+    The narrow machine fetched the younger divide too late to steal,
+    so it finished *earlier* than the wide one (41 vs 39 cycles).
+    """
+
+    def di(i, op, reads, writes, lat):
+        return DynInst(pc=i, op=op, reads=reads, writes=writes,
+                       latency=lat, next_pc=i + 1)
+
+    stream = [
+        di(0, Opcode.ADD,  ((0, 0), (0, 0)), ((1, 1),), 1),
+        di(1, Opcode.FDIV, ((1, 1), (1, 1)), ((2, 1),), 18),
+        di(2, Opcode.ADD,  ((2, 1), (0, 0)), ((3, 1),), 1),
+        di(3, Opcode.ADD,  ((3, 1), (0, 0)), ((3, 2),), 1),
+        di(4, Opcode.ADD,  ((3, 2), (0, 0)), ((3, 3),), 1),
+        di(5, Opcode.FDIV, ((0, 0), (0, 0)), ((4, 1),), 18),
+    ]
+    narrow = PipelineModel(
+        PipelineConfig(fetch_width=2, issue_width=2, commit_width=2, rob_size=16)
+    ).simulate(stream)
+    wide = PipelineModel(
+        PipelineConfig(fetch_width=8, issue_width=8, commit_width=8, rob_size=128)
+    ).simulate(stream)
+    assert wide.total_cycles <= narrow.total_cycles

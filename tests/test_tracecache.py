@@ -91,6 +91,68 @@ class TestProfileLayer:
         )
         assert tracecache.cache_info()["profiles"] == 2
 
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"window_size": 128},
+            {"scale": 2},
+            {"reuse_latencies": (1, 2)},
+            {"proportional_ks": (0.5,)},
+        ],
+    )
+    def test_any_semantic_field_changes_the_key(self, cache_dir, mutation):
+        """Mutating any analysis-relevant config field must be a miss."""
+        base = ExperimentConfig(max_instructions=1_000)
+        mutated = ExperimentConfig(max_instructions=1_000, **mutation)
+        assert tracecache.profile_path(
+            "li", base.cache_key()
+        ) != tracecache.profile_path("li", mutated.cache_key())
+
+    def test_execution_knobs_do_not_change_the_key(self, cache_dir):
+        """Worker counts / retry policy must share one cache entry."""
+        base = ExperimentConfig(max_instructions=1_000)
+        tuned = ExperimentConfig(
+            max_instructions=1_000, max_workers=7, task_timeout=9.0,
+            task_retries=5, retry_backoff=1.0, workloads=("li",),
+        )
+        assert tracecache.profile_path(
+            "li", base.cache_key()
+        ) == tracecache.profile_path("li", tuned.cache_key())
+
+    def test_future_semantic_fields_enter_the_key(self):
+        """cache_key is derived from the dataclass fields, so every
+        field not explicitly excluded participates."""
+        from repro.exp.config import _NON_SEMANTIC_FIELDS
+        import dataclasses
+
+        config = ExperimentConfig()
+        named = {name for name, _ in config.cache_key()}
+        all_fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
+        assert named == all_fields - _NON_SEMANTIC_FIELDS
+
+    def test_corrupt_profile_entry_recovers(self, cache_dir):
+        """Garbled entry => miss, recompute, atomic rewrite."""
+        config = ExperimentConfig(max_instructions=1_000)
+        cold = run_profile("li", config)
+        path = tracecache.profile_path("li", config.cache_key())
+        path.write_bytes(b"\x80\x04garbage")
+        recovered = run_profile("li", config)
+        assert recovered == cold
+        # the recompute rewrote the entry: it loads cleanly again
+        assert tracecache.load_cached_profile(
+            "li", config.cache_key()
+        ) == cold
+        leftovers = [p for p in path.parent.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert not leftovers
+
+    def test_truncated_profile_entry_recovers(self, cache_dir):
+        config = ExperimentConfig(max_instructions=1_000)
+        cold = run_profile("li", config)
+        path = tracecache.profile_path("li", config.cache_key())
+        path.write_bytes(path.read_bytes()[:10])
+        assert run_profile("li", config) == cold
+
 
 class TestMaintenance:
     def test_info_and_clear(self, cache_dir):
@@ -108,3 +170,14 @@ class TestMaintenance:
 
     def test_cache_dir_env_override(self, cache_dir):
         assert tracecache.cache_dir() == cache_dir
+
+    def test_clear_keeps_run_manifests(self, cache_dir):
+        from repro.obs.manifest import RunManifest
+
+        run_workload("li", max_instructions=300)
+        manifest = RunManifest()
+        manifest.emit("run_start")
+        assert tracecache.clear_cache() == 1
+        assert manifest.path.is_file()
+        info = tracecache.cache_info()
+        assert info["runs"] == 1 and info["run_bytes"] > 0

@@ -134,6 +134,44 @@ class TestColumnarV2:
         with pytest.raises(TraceFileError, match="not a trace"):
             load_trace(path)
 
+    def test_truncated_v2_payload(self, tmp_path):
+        _, trace = run_asm("li r1, 5\nhalt")
+        path = tmp_path / "t.trace"
+        save_trace(trace, path, format="v2")
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(TraceFileError, match="bad v2 payload"):
+            load_trace(path)
+
+    def test_bad_v2_payload_logs_warning(self, tmp_path, caplog):
+        import logging
+
+        from repro.vm.tracefile import MAGIC_V2
+
+        path = tmp_path / "bad.trace"
+        path.write_bytes(MAGIC_V2 + b"\x00not a pickle")
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            with pytest.raises(TraceFileError):
+                load_trace(path)
+        assert any("unreadable v2 trace file" in r.message
+                   for r in caplog.records)
+
+    def test_unexpected_error_propagates(self, tmp_path, monkeypatch):
+        """Only *expected* unpickling/IO failures become
+        TraceFileError; interpreter-level errors must not be
+        swallowed as if the file were corrupt."""
+        import repro.vm.tracefile as tracefile
+
+        _, trace = run_asm("li r1, 5\nhalt")
+        path = tmp_path / "t.trace"
+        save_trace(trace, path, format="v2")
+
+        def explode(_fh):
+            raise MemoryError("interpreter out of memory")
+
+        monkeypatch.setattr(tracefile.pickle, "load", explode)
+        with pytest.raises(MemoryError):
+            load_trace(path)
+
 
 class TestErrors:
     def test_empty_file(self, tmp_path):

@@ -1,11 +1,29 @@
 """Process fan-out helpers."""
 
+import multiprocessing
+import os
+
 import pytest
 
 from repro.util.parallel import chunked, default_worker_count, parallel_map
 
 
 def _square(x: int) -> int:
+    return x * x
+
+
+def _crash_in_worker(x: int) -> int:
+    """Kill the worker process on the sentinel item — but only when
+    actually running in a worker, so the parent-side recompute of the
+    same item succeeds."""
+    if x == 7 and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return x * x
+
+
+def _raise_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("boom at 3")
     return x * x
 
 
@@ -27,6 +45,26 @@ class TestParallelMap:
         assert parallel_map(_square, list(range(8)), max_workers=2) == [
             x * x for x in range(8)
         ]
+
+    def test_worker_crash_falls_back_to_sequential(self, caplog):
+        """A dead worker must not lose the run: the in-flight items are
+        named in a warning and recomputed in the parent."""
+        import logging
+
+        items = list(range(20))
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            results = parallel_map(_crash_in_worker, items, max_workers=2)
+        assert results == [x * x for x in items]
+        assert any("worker process died" in r.message for r in caplog.records)
+
+    def test_deterministic_exception_propagates(self):
+        """An exception raised *by fn* is not retried or swallowed."""
+        with pytest.raises(ValueError, match="boom at 3"):
+            parallel_map(_raise_on_three, list(range(8)), max_workers=2)
+
+    def test_deterministic_exception_propagates_serially(self):
+        with pytest.raises(ValueError, match="boom at 3"):
+            parallel_map(_raise_on_three, [3], max_workers=1)
 
 
 class TestDefaultWorkerCount:
