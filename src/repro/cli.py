@@ -58,6 +58,7 @@ from repro.exp.report import render
 from repro.exp.runner import collect_profiles
 from repro.isa.disasm import disassemble
 from repro.util.tables import format_table
+from repro.vm.backends import BACKENDS
 from repro.vm.tracefile import save_trace
 from repro.workloads.base import all_workloads, build_program, run_workload
 
@@ -73,6 +74,7 @@ def _cmd_run(args) -> int:
         args.workload,
         max_instructions=args.budget,
         use_cache=not args.no_cache,
+        backend=args.backend,
     )
     print(f"{args.workload}: {len(trace)} dynamic instructions "
           f"(halted={trace.halted})")
@@ -95,6 +97,7 @@ def _cmd_analyze(args) -> int:
         args.workload,
         max_instructions=args.budget,
         use_cache=not args.no_cache,
+        backend=args.backend,
     )
     reuse = instruction_reusability(trace)
     spans = maximal_reusable_spans(trace, reuse.flags)
@@ -119,7 +122,8 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_figures(args) -> int:
     config = ExperimentConfig(
-        max_instructions=args.budget, use_cache=not args.no_cache
+        max_instructions=args.budget, use_cache=not args.no_cache,
+        backend=args.backend,
     )
     profiles = collect_profiles(config)
     for failure in getattr(profiles, "failures", ()):
@@ -145,7 +149,8 @@ def _cmd_figures(args) -> int:
         print()
     if args.fig9:
         fig9_config = ExperimentConfig(
-            max_instructions=args.fig9_budget, use_cache=not args.no_cache
+            max_instructions=args.fig9_budget, use_cache=not args.no_cache,
+            backend=args.backend,
         )
         print(render(figure9(fig9_config)))
     if getattr(profiles, "manifest_path", None) is not None:
@@ -158,6 +163,7 @@ def _cmd_rtm(args) -> int:
         args.workload,
         max_instructions=args.budget,
         use_cache=not args.no_cache,
+        backend=args.backend,
     )
     heuristics = [ILRHeuristic(False), ILRHeuristic(True),
                   FixedLengthHeuristic(4)]
@@ -215,7 +221,8 @@ def _cmd_characterize(args) -> int:
 
     names = args.workloads or (FP_SUITE + INT_SUITE)
     fig = suite_characterization(
-        names, max_instructions=args.budget, use_cache=not args.no_cache
+        names, max_instructions=args.budget, use_cache=not args.no_cache,
+        backend=args.backend,
     )
     print(render(fig))
     return 0
@@ -306,23 +313,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # shared by every command that executes kernels; None defers to
+    # the REPRO_BACKEND environment variable, then the interpreter
+    backend_parent = argparse.ArgumentParser(add_help=False)
+    backend_parent.add_argument(
+        "--backend", choices=sorted(BACKENDS), default=None,
+        help="execution backend (default: $REPRO_BACKEND or interp)",
+    )
+
     sub.add_parser("workloads", help="list benchmark kernels")
 
-    p_run = sub.add_parser("run", help="execute a kernel")
+    p_run = sub.add_parser("run", help="execute a kernel", parents=[backend_parent])
     p_run.add_argument("workload")
     p_run.add_argument("--budget", type=int, default=20_000)
     p_run.add_argument("--save-trace", metavar="PATH")
     p_run.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent trace cache")
 
-    p_an = sub.add_parser("analyze", help="full single-kernel analysis")
+    p_an = sub.add_parser("analyze", help="full single-kernel analysis", parents=[backend_parent])
     p_an.add_argument("workload")
     p_an.add_argument("--budget", type=int, default=20_000)
     p_an.add_argument("--window", type=int, default=256)
     p_an.add_argument("--no-cache", action="store_true",
                       help="bypass the persistent trace cache")
 
-    p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
+    p_fig = sub.add_parser("figures", help="regenerate the paper's figures", parents=[backend_parent])
     p_fig.add_argument("--budget", type=int, default=20_000)
     p_fig.add_argument("--fig9", action="store_true",
                        help="also run the (slow) finite-RTM grid")
@@ -330,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent trace/profile cache")
 
-    p_rtm = sub.add_parser("rtm", help="finite-RTM design sweep")
+    p_rtm = sub.add_parser("rtm", help="finite-RTM design sweep", parents=[backend_parent])
     p_rtm.add_argument("workload")
     p_rtm.add_argument("--budget", type=int, default=12_000)
     p_rtm.add_argument("--sizes", nargs="+", default=["512", "4K"],
@@ -341,7 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dis = sub.add_parser("disasm", help="disassemble a kernel")
     p_dis.add_argument("workload")
 
-    p_ch = sub.add_parser("characterize", help="workload suite statistics")
+    p_ch = sub.add_parser("characterize", help="workload suite statistics", parents=[backend_parent])
     p_ch.add_argument("workloads", nargs="*")
     p_ch.add_argument("--budget", type=int, default=10_000)
     p_ch.add_argument("--no-cache", action="store_true",

@@ -116,6 +116,7 @@ def run_profile(
             scale=config.scale,
             max_instructions=config.max_instructions,
             use_cache=config.use_cache,
+            backend=config.backend,
         )
     with obs.time_stage("stage.reusability"):
         reuse = instruction_reusability(trace)

@@ -37,11 +37,14 @@ class Instruction:
     #: source line (diagnostics only; excluded from equality so that
     #: re-assembled programs compare equal to their originals)
     line: int = field(default=0, compare=False)
+    #: result latency in cycles, resolved once at decode time so the
+    #: VM's hot loop never consults the ``LATENCY`` table (derived from
+    #: ``op``, hence excluded from equality)
+    latency: int = field(default=-1, compare=False)
 
-    @property
-    def latency(self) -> int:
-        """Result latency in cycles."""
-        return latency_of(self.op)
+    def __post_init__(self):
+        if self.latency < 0:
+            object.__setattr__(self, "latency", latency_of(self.op))
 
     def __str__(self) -> str:
         return (

@@ -9,7 +9,15 @@ latency, next PC).
 """
 
 from repro.vm.assembler import AssemblyError, assemble
+from repro.vm.backends import (
+    BACKEND_ENV,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    create_machine,
+    resolve_backend,
+)
 from repro.vm.errors import VMError
+from repro.vm.fastmachine import FastMachine
 from repro.vm.machine import DEFAULT_STACK_TOP, Machine
 from repro.vm.program import DATA_BASE, Program
 from repro.vm.trace import DynInst, Trace
@@ -18,6 +26,12 @@ __all__ = [
     "assemble",
     "AssemblyError",
     "Machine",
+    "FastMachine",
+    "BACKENDS",
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "create_machine",
+    "resolve_backend",
     "Program",
     "Trace",
     "DynInst",

@@ -1,0 +1,69 @@
+"""Pluggable execution backends for the VM.
+
+Two backends execute assembled programs, with one contract between
+them: **bit-identical traces**.  For any program, budget and machine
+state, both must produce exactly the same
+:class:`~repro.vm.trace.ColumnarTrace`, final architectural state and
+faults.
+
+``interp``
+    :class:`~repro.vm.machine.Machine` — the reference interpreter,
+    one closure call per dynamic instruction.  Simple, transparently
+    correct, and the differential oracle for everything else.
+``fast``
+    :class:`~repro.vm.fastmachine.FastMachine` — compiles hot
+    superblock traces into specialised straight-line functions and
+    falls back to the interpreter for cold or irregular code.  About
+    an order of magnitude faster at paper-scale budgets.
+
+Selection precedence: an explicit ``backend=`` argument (e.g. the
+``--backend`` CLI flag) > the ``REPRO_BACKEND`` environment variable >
+:data:`DEFAULT_BACKEND`.  The default stays ``interp`` so that
+nothing changes behaviour unless a caller opts in; batch entry points
+(``collect_profiles``, ``repro run``) pass the resolved name down.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.vm.fastmachine import FastMachine
+from repro.vm.machine import Machine
+from repro.vm.program import Program
+
+#: Registry of backend name -> machine class.  Every class accepts
+#: ``(program)`` and exposes ``run(max_instructions=...)``.
+BACKENDS: dict[str, type[Machine]] = {
+    "interp": Machine,
+    "fast": FastMachine,
+}
+
+#: Environment knob consulted when no explicit backend is given.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Used when neither an argument nor the environment selects one.
+DEFAULT_BACKEND = "interp"
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a backend name: argument > ``REPRO_BACKEND`` > default.
+
+    Raises ``ValueError`` for names outside :data:`BACKENDS`, naming
+    the valid choices (covers typos in the env var as well).
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    if name not in BACKENDS:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend {name!r}; known: {known}")
+    return name
+
+
+def backend_class(name: str | None = None) -> type[Machine]:
+    """The machine class for a backend name (resolved as above)."""
+    return BACKENDS[resolve_backend(name)]
+
+
+def create_machine(program: Program, backend: str | None = None) -> Machine:
+    """Instantiate the selected backend over ``program``."""
+    return backend_class(backend)(program)

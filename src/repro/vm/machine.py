@@ -17,7 +17,7 @@ Architectural model:
 from __future__ import annotations
 
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import LATENCY, Opcode
+from repro.isa.opcodes import Opcode
 from repro.isa.registers import FP_REG_BASE, MEM_LOC_BASE
 from repro.vm.errors import VMError
 from repro.vm.program import Program
@@ -230,7 +230,7 @@ class Machine:
             raise VMError(f"unimplemented opcode {inst.op.name}", pc=self.pc,
                           line=inst.line)
         reads, writes, next_pc = handler(inst)
-        record = DynInst(self.pc, inst.op, reads, writes, LATENCY[inst.op], next_pc)
+        record = DynInst(self.pc, inst.op, reads, writes, inst.latency, next_pc)
         self.pc = next_pc
         self.instruction_count += 1
         return record
@@ -503,7 +503,7 @@ def _mk_int_rr(fn):
         rs1 = inst.rs1
         rs2 = inst.rs2
         opi = int(inst.op)
-        lat = LATENCY[inst.op]
+        lat = inst.latency
         npc = pc + 1
         if rd:
             def ex():
@@ -552,7 +552,7 @@ def _mk_int_ri(fn):
         rs1 = inst.rs1
         imm = inst.imm
         opi = int(inst.op)
-        lat = LATENCY[inst.op]
+        lat = inst.latency
         npc = pc + 1
         if rd:
             def ex():
@@ -595,7 +595,7 @@ def _mk_branch(fn):
         rs2 = inst.rs2
         target = inst.imm
         opi = int(inst.op)
-        lat = LATENCY[inst.op]
+        lat = inst.latency
         npc = pc + 1
 
         def ex():
@@ -628,7 +628,7 @@ def _mk_fp_rr(fn):
         frs1 = FP_REG_BASE + rs1
         frs2 = FP_REG_BASE + rs2
         opi = int(inst.op)
-        lat = LATENCY[inst.op]
+        lat = inst.latency
         npc = pc + 1
 
         def ex():
@@ -664,7 +664,7 @@ def _mk_fp_cmp(fn):
         frs1 = FP_REG_BASE + rs1
         frs2 = FP_REG_BASE + rs2
         opi = int(inst.op)
-        lat = LATENCY[inst.op]
+        lat = inst.latency
         npc = pc + 1
 
         def ex():
@@ -698,7 +698,7 @@ def _build_div(m, inst, pc, cols):
     rs2 = inst.rs2
     line = inst.line
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
     trunc = Machine._trunc_div
     rem = inst.op is Opcode.REM
@@ -736,7 +736,7 @@ def _build_li(m, inst, pc, cols):
     rd = inst.rd
     value = int(inst.imm)
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -760,7 +760,7 @@ def _build_mov(m, inst, pc, cols):
     rd = inst.rd
     rs1 = inst.rs1
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -790,7 +790,7 @@ def _build_lw(m, inst, pc, cols):
     imm = inst.imm
     line = inst.line
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -829,7 +829,7 @@ def _build_sw(m, inst, pc, cols):
     imm = inst.imm
     line = inst.line
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -867,7 +867,7 @@ def _build_flw(m, inst, pc, cols):
     imm = inst.imm
     line = inst.line
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -905,7 +905,7 @@ def _build_fsw(m, inst, pc, cols):
     imm = inst.imm
     line = inst.line
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -936,7 +936,7 @@ def _build_j(m, inst, pc, cols):
     P, O, L, N, RB, RL, RV, WB, WL, WV, rlocs, wlocs = cols
     target = int(inst.imm)
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
 
     def ex():
         P(pc)
@@ -956,7 +956,7 @@ def _build_jal(m, inst, pc, cols):
     target = int(inst.imm)
     link = pc + 1
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
 
     def ex():
         P(pc)
@@ -978,7 +978,7 @@ def _build_jr(m, inst, pc, cols):
     regs = m.regs
     rs1 = inst.rs1
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
 
     def ex():
         a = regs[rs1]
@@ -1005,7 +1005,7 @@ def _build_fdiv(m, inst, pc, cols):
     frs2 = FP_REG_BASE + rs2
     line = inst.line
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -1041,7 +1041,7 @@ def _build_fsqrt(m, inst, pc, cols):
     frs1 = FP_REG_BASE + rs1
     line = inst.line
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -1074,7 +1074,7 @@ def _mk_fp_unary(fn):
         frd = FP_REG_BASE + rd
         frs1 = FP_REG_BASE + rs1
         opi = int(inst.op)
-        lat = LATENCY[inst.op]
+        lat = inst.latency
         npc = pc + 1
 
         def ex():
@@ -1103,7 +1103,7 @@ def _build_fli(m, inst, pc, cols):
     frd = FP_REG_BASE + rd
     value = float(inst.imm)
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -1128,7 +1128,7 @@ def _build_cvtif(m, inst, pc, cols):
     rs1 = inst.rs1
     frd = FP_REG_BASE + rd
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -1157,7 +1157,7 @@ def _build_cvtfi(m, inst, pc, cols):
     rs1 = inst.rs1
     frs1 = FP_REG_BASE + rs1
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -1182,7 +1182,7 @@ def _build_cvtfi(m, inst, pc, cols):
 def _build_nop(m, inst, pc, cols):
     P, O, L, N, RB, RL, RV, WB, WL, WV, rlocs, wlocs = cols
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
     npc = pc + 1
 
     def ex():
@@ -1199,7 +1199,7 @@ def _build_nop(m, inst, pc, cols):
 def _build_halt(m, inst, pc, cols):
     P, O, L, N, RB, RL, RV, WB, WL, WV, rlocs, wlocs = cols
     opi = int(inst.op)
-    lat = LATENCY[inst.op]
+    lat = inst.latency
 
     def ex():
         m.halted = True

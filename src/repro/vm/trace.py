@@ -393,6 +393,64 @@ class ColumnarTrace:
         self._rows = None
 
 
+def _zeros(typecode: str, n: int) -> array:
+    a = array(typecode)
+    a.frombytes(bytes(n * a.itemsize))
+    return a
+
+
+def preallocated_pcn(capacity: int) -> array:
+    """Zero-filled interleaved staging column for ``capacity``
+    instructions: ``[pc, next_pc]`` per record, one ``array('i')``.
+
+    Interleaving lets a block flush both dynamic fixed-width columns
+    with a *single* slice assignment per exit; the run de-interleaves
+    once at the end into the :class:`ColumnarTrace` typecodes.  The
+    remaining fixed-width columns (op, latency) are static functions
+    of the pc and are gathered from per-pc tables afterwards instead
+    of being staged per instruction.
+    """
+    return _zeros("i", 2 * capacity)
+
+
+def _values_identical(xs: list, ys: list) -> bool:
+    if len(xs) != len(ys):
+        return False
+    for x, y in zip(xs, ys):
+        if type(x) is not type(y):
+            return False
+        # NaN != NaN, but bitwise-equal traces may legitimately hold it
+        if x != y and not (x != x and y != y):
+            return False
+    return True
+
+
+def trace_identical(a: ColumnarTrace, b: ColumnarTrace) -> bool:
+    """True when two columnar traces are bit-identical.
+
+    Stricter than element ``==``: values must match in *type* as well
+    (``1`` and ``1.0`` are different trace contents), which is the
+    contract the fast backend's differential tests enforce against the
+    interpreter oracle.
+    """
+    return (
+        len(a) == len(b)
+        and a.halted == b.halted
+        and a.truncated == b.truncated
+        and a.program_name == b.program_name
+        and a.pcs == b.pcs
+        and a.ops == b.ops
+        and a.lats == b.lats
+        and a.next_pcs == b.next_pcs
+        and a.read_bounds == b.read_bounds
+        and a.write_bounds == b.write_bounds
+        and a.read_locs == b.read_locs
+        and a.write_locs == b.write_locs
+        and _values_identical(a.read_vals, b.read_vals)
+        and _values_identical(a.write_vals, b.write_vals)
+    )
+
+
 AnyTrace = Trace | ColumnarTrace
 
 

@@ -69,6 +69,19 @@ TRACE_MODULES = (
     "repro.vm.trace",
 )
 
+#: Extra trace-defining modules per non-default execution backend.
+#: Backends are bit-identical by contract, but cache entries stay
+#: segregated per backend: a backend bug must never poison entries
+#: attributed to the reference interpreter, and editing the fast
+#: backend must invalidate exactly the entries it produced.
+BACKEND_TRACE_MODULES: dict[str, tuple[str, ...]] = {
+    "fast": ("repro.vm.fastmachine", "repro.vm.backends"),
+}
+
+
+def _trace_modules(backend: str) -> tuple[str, ...]:
+    return TRACE_MODULES + BACKEND_TRACE_MODULES.get(backend, ())
+
 #: Modules that additionally define what a profile is (the analysis
 #: stack on top of the trace).
 ANALYSIS_MODULES = TRACE_MODULES + (
@@ -143,17 +156,23 @@ def trace_path(
     scale: int,
     max_instructions: int | None,
     source_text: str,
+    backend: str = "interp",
 ) -> pathlib.Path:
-    """Cache file path for one (workload, scale, budget) trace.
+    """Cache file path for one (workload, scale, budget, backend) trace.
 
     ``source_text`` is the workload's generated assembly (passed in by
     the caller so this module needs no workload-registry import).
+    ``backend`` is the execution backend that produced (or would
+    produce) the trace; entries are keyed per backend even though
+    backends are bit-identical by contract.
     """
     key = _entry_key(
-        _modules_digest(TRACE_MODULES), name, scale, max_instructions,
-        source_text,
+        _modules_digest(_trace_modules(backend)), name, scale,
+        max_instructions, source_text, backend,
     )
-    fname = f"{name}-s{scale}-n{_budget_tag(max_instructions)}-{key}.trace"
+    tag = "" if backend == "interp" else f"-b{backend}"
+    fname = (f"{name}-s{scale}-n{_budget_tag(max_instructions)}{tag}"
+             f"-{key}.trace")
     return cache_dir() / "traces" / fname
 
 
@@ -162,11 +181,12 @@ def load_cached_trace(
     scale: int,
     max_instructions: int | None,
     source_text: str,
+    backend: str = "interp",
 ) -> ColumnarTrace | None:
     """The cached trace, or None on a miss (including corrupt files)."""
     if not cache_enabled():
         return None
-    path = trace_path(name, scale, max_instructions, source_text)
+    path = trace_path(name, scale, max_instructions, source_text, backend)
     if not path.is_file():
         incr("trace_cache.miss")
         return None
@@ -191,11 +211,12 @@ def store_cached_trace(
     max_instructions: int | None,
     source_text: str,
     trace: ColumnarTrace,
+    backend: str = "interp",
 ) -> None:
     """Persist a trace (no-op when the cache is disabled)."""
     if not cache_enabled():
         return
-    path = trace_path(name, scale, max_instructions, source_text)
+    path = trace_path(name, scale, max_instructions, source_text, backend)
     _atomic_write(path, lambda tmp: save_trace(trace, tmp, format="v2"))
     incr("trace_cache.store")
 

@@ -5,9 +5,8 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.vm import tracecache
+from repro.vm import backends, tracecache
 from repro.vm.assembler import assemble
-from repro.vm.machine import Machine
 from repro.vm.program import Program
 from repro.vm.trace import ColumnarTrace
 
@@ -85,6 +84,7 @@ def run_workload(
     scale: int = 1,
     max_instructions: int | None = 60_000,
     use_cache: bool = True,
+    backend: str | None = None,
 ) -> ColumnarTrace:
     """Assemble and execute a kernel, capturing its dynamic trace.
 
@@ -93,23 +93,33 @@ def run_workload(
     ``max_instructions`` — the analogue of the paper's fixed 50M
     instruction window per program.
 
+    ``backend`` picks the execution backend (see
+    :mod:`repro.vm.backends`): ``None`` defers to the
+    ``REPRO_BACKEND`` environment variable and then the default
+    interpreter.  Backends are bit-identical by contract, so the
+    choice affects wall-clock time only; cache entries are
+    nevertheless keyed per backend.
+
     Kernels are deterministic, so the trace is memoised on disk via
     :mod:`repro.vm.tracecache` (keyed by the generated assembly source
     and the VM code fingerprint); pass ``use_cache=False`` — or set
     ``REPRO_TRACE_CACHE=0`` — to force re-execution.
     """
+    resolved = backends.resolve_backend(backend)
     workload = get_workload(name)
     source = workload.source(scale)
     if use_cache:
         cached = tracecache.load_cached_trace(
-            name, scale, max_instructions, source
+            name, scale, max_instructions, source, resolved
         )
         if cached is not None:
             return cached
-    machine = Machine(assemble(source, name=name))
+    machine = backends.create_machine(
+        assemble(source, name=name), resolved
+    )
     trace = machine.run(max_instructions=max_instructions)
     if use_cache:
         tracecache.store_cached_trace(
-            name, scale, max_instructions, source, trace
+            name, scale, max_instructions, source, trace, resolved
         )
     return trace

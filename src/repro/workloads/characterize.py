@@ -97,9 +97,14 @@ def characterize(trace: AnyTrace | Sequence[DynInst]) -> WorkloadCharacter:
 
 def suite_characterization(
     workloads: Sequence[str], *, max_instructions: int = 10_000,
-    use_cache: bool = True,
+    use_cache: bool = True, backend: str | None = None,
 ) -> FigureResult:
-    """Characterisation table over a set of kernels."""
+    """Characterisation table over a set of kernels.
+
+    ``backend`` selects the execution backend for uncached runs (see
+    :mod:`repro.vm.backends`); the table itself is backend-independent
+    because backends produce bit-identical traces.
+    """
     from repro.workloads.base import get_workload, run_workload
 
     result = FigureResult(
@@ -112,7 +117,7 @@ def suite_characterization(
     )
     for name in workloads:
         trace = run_workload(name, max_instructions=max_instructions,
-                             use_cache=use_cache)
+                             use_cache=use_cache, backend=backend)
         ch = characterize(trace)
         result.rows.append(
             [
