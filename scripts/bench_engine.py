@@ -20,10 +20,26 @@ retained pre-optimisation reference pipeline:
   warm run (cache hit) — plus the cold/warm speed-ups and a
   bit-identical check of the profiles.
 
+With ``--tracev3`` the script instead benchmarks the streaming trace
+pipeline and writes ``BENCH_tracev3.json``:
+
+- ``codec``: v3 write/read throughput (instr/s) and compression stats
+  at the paper-scale ``--trace-budget`` — execution streams through
+  the incremental ``TraceWriter``, so this path never materializes
+  the trace — plus the on-disk ratio against a v2 (pickled columnar)
+  encoding of the same trace;
+- ``engine``: ``StreamingDataflowEngine`` vs ``FusedDataflowEngine``
+  scenario throughput over the standard figure-3..8 scenario set at
+  ``--budget``, with a bit-identity check of every ``TimingResult``;
+- exits non-zero when bit-identity fails or the v3-vs-v2 compression
+  ratio drops below the 4x floor on any kernel.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_engine.py [--budget N] \
         [--machine-budget N] [--output PATH]
+    PYTHONPATH=src python scripts/bench_engine.py --tracev3 \
+        [--budget N] [--trace-budget N] [--output PATH]
 
 ``REPRO_BENCH_BUDGET`` / ``REPRO_BENCH_MACHINE_BUDGET`` also set the
 budgets (flags win).  ``--budget`` drives the engine and profile
@@ -216,6 +232,125 @@ def bench_collect_profiles(budget: int) -> dict:
     }
 
 
+class _CountingSink:
+    """A write-only file object that just counts bytes (v2 sizing
+    without touching disk)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def write(self, data) -> int:
+        self.count += len(data)
+        return len(data)
+
+
+def bench_tracev3(trace_budget: int, engine_budget: int,
+                  config: ExperimentConfig, tmpdir: str) -> dict:
+    """Streaming trace pipeline benchmark (``--tracev3``)."""
+    import pickle
+
+    from repro.dataflow.streaming import StreamingDataflowEngine
+    from repro.vm.trace import as_columnar
+    from repro.vm.tracestream import (
+        ExecutionChunkStream,
+        FileTraceStream,
+        write_stream,
+    )
+    from repro.vm.tracev3 import trace_v3_info, write_v3
+
+    tmp = pathlib.Path(tmpdir)
+    kernels = ("compress", "tomcatv", "go")
+    per_kernel = {}
+    min_ratio_vs_v2 = float("inf")
+    for name in kernels:
+        path = tmp / f"{name}.trace"
+        stream = ExecutionChunkStream(
+            lambda name=name: FastMachine(build_program(name)),
+            program_name=name,
+            max_instructions=trace_budget,
+        )
+        start = time.perf_counter()
+        n = write_stream(stream, path)
+        write_s = time.perf_counter() - start
+
+        reader = FileTraceStream(path)
+        start = time.perf_counter()
+        read_n = sum(len(chunk) for chunk in reader.chunks())
+        read_s = time.perf_counter() - start
+        assert read_n == n, f"{name}: wrote {n}, read back {read_n}"
+
+        info = trace_v3_info(path)
+        v3_bytes = info["file_bytes"]
+
+        # v2 size of the same trace: pickle the materialized columnar
+        # layout into a counting sink (no disk, freed immediately)
+        trace = FastMachine(build_program(name)).run(
+            max_instructions=trace_budget
+        )
+        sink = _CountingSink()
+        pickle.dump(as_columnar(trace), sink,
+                    protocol=pickle.HIGHEST_PROTOCOL)
+        del trace
+        gc.collect()
+        v2_bytes = sink.count
+        ratio_vs_v2 = v2_bytes / v3_bytes
+        min_ratio_vs_v2 = min(min_ratio_vs_v2, ratio_vs_v2)
+        per_kernel[name] = {
+            "instructions": n,
+            "write_seconds": round(write_s, 4),
+            "write_instr_per_sec": round(n / write_s),
+            "read_seconds": round(read_s, 4),
+            "read_instr_per_sec": round(n / read_s),
+            "chunks": info["chunk_count"],
+            "v3_bytes": v3_bytes,
+            "v2_bytes": v2_bytes,
+            "bytes_per_instruction": round(v3_bytes / n, 3),
+            "chunk_compression_ratio": round(info["compression_ratio"], 2),
+            "ratio_vs_v2": round(ratio_vs_v2, 2),
+        }
+        path.unlink()
+
+    # streaming vs materialized engine throughput + bit-identity
+    trace = run_workload("compress", max_instructions=engine_budget,
+                         use_cache=False)
+    reuse = instruction_reusability(trace)
+    spans = maximal_reusable_spans(trace, reuse.flags)
+    scens = scenario_set(config)
+    start = time.perf_counter()
+    fused = FusedDataflowEngine(trace, flags=reuse.flags, spans=spans)
+    mat_results = fused.analyze_all(scens)
+    mat_s = time.perf_counter() - start
+
+    engine_path = tmp / "engine.trace"
+    write_v3(trace, engine_path)
+    del trace, reuse, spans, fused
+    gc.collect()
+    start = time.perf_counter()
+    streaming = StreamingDataflowEngine(FileTraceStream(engine_path))
+    stream_results = streaming.analyze_all(scens)
+    stream_s = time.perf_counter() - start
+    engine_path.unlink()
+    bit_identical = mat_results == stream_results
+
+    return {
+        "kernels": list(kernels),
+        "trace_budget": trace_budget,
+        "codec": per_kernel,
+        "min_ratio_vs_v2": round(min_ratio_vs_v2, 2),
+        "engine": {
+            "kernel": "compress",
+            "instructions": engine_budget,
+            "scenarios": len(scens),
+            "materialized_seconds": round(mat_s, 4),
+            "streaming_seconds": round(stream_s, 4),
+            "materialized_scenarios_per_sec": round(len(scens) / mat_s, 1),
+            "streaming_scenarios_per_sec": round(len(scens) / stream_s, 1),
+            "streaming_overhead": round(stream_s / mat_s, 2),
+            "bit_identical": bit_identical,
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -238,10 +373,51 @@ def main(argv: list[str] | None = None) -> int:
         help="budget for the backend bit-identity check (default 1M)",
     )
     parser.add_argument(
-        "--output", default="BENCH_engine.json",
-        help="where to write the JSON report",
+        "--tracev3", action="store_true",
+        help="benchmark the streaming trace pipeline instead "
+             "(writes BENCH_tracev3.json)",
+    )
+    parser.add_argument(
+        "--trace-budget", type=int,
+        default=int(os.environ.get("REPRO_BENCH_TRACE_BUDGET",
+                                   "50000000")),
+        help="instruction budget per kernel for the v3 codec bench "
+             "(default 50M, the paper scale)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="where to write the JSON report (default "
+             "BENCH_engine.json, or BENCH_tracev3.json with --tracev3)",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = "BENCH_tracev3.json" if args.tracev3 else "BENCH_engine.json"
+
+    if args.tracev3:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+            os.environ["REPRO_CACHE_DIR"] = tmp
+            report = {
+                "budget": args.budget,
+                "tracev3": bench_tracev3(
+                    args.trace_budget, args.budget,
+                    ExperimentConfig(max_instructions=args.budget), tmp,
+                ),
+            }
+        out = pathlib.Path(args.output)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
+        print(f"\nwritten to {out}", file=sys.stderr)
+        tv = report["tracev3"]
+        ok = True
+        if not tv["engine"]["bit_identical"]:
+            print("FAIL: streaming engine results are not bit-identical "
+                  "to the materialized engine", file=sys.stderr)
+            ok = False
+        if tv["min_ratio_vs_v2"] < 4.0:
+            print(f"FAIL: v3 compression ratio vs v2 fell below the 4x "
+                  f"floor ({tv['min_ratio_vs_v2']}x)", file=sys.stderr)
+            ok = False
+        return 0 if ok else 1
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         os.environ["REPRO_CACHE_DIR"] = tmp

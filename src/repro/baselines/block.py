@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.isa.opcodes import OpClass
-from repro.vm.trace import AnyTrace, DynInst, stream_of
+from repro.vm.trace import AnyTrace, DynInst
 
 
 def basic_block_spans(
@@ -29,17 +29,28 @@ def basic_block_spans(
     (the control transfer itself is the last instruction of the
     block); a discontinuous ``next_pc`` also forces a boundary, which
     catches fall-through targets of taken branches elsewhere.
+
+    Accepts chunk streams: the walk is lazy and holds no rows beyond
+    the current chunk.
     """
-    instructions = stream_of(trace)
-    if len(flags) != len(instructions):
+    from repro.vm.tracestream import iter_insts, stream_length
+
+    known = stream_length(trace)
+    if known is not None and len(flags) != known:
         raise ValueError("flags must align with the instruction stream")
+    flag_count = len(flags)
     spans: list[tuple[int, int]] = []
     start: int | None = None
-    for i, (inst, flag) in enumerate(zip(instructions, flags)):
+    i = 0
+    for inst in iter_insts(trace):
+        if i >= flag_count:
+            raise ValueError("flags must align with the instruction stream")
+        flag = flags[i]
         if not flag:
             if start is not None:
                 spans.append((start, i))
                 start = None
+            i += 1
             continue
         if start is None:
             start = i
@@ -49,6 +60,9 @@ def basic_block_spans(
         if ends_block:
             spans.append((start, i + 1))
             start = None
+        i += 1
+    if i != flag_count:
+        raise ValueError("flags must align with the instruction stream")
     if start is not None:
-        spans.append((start, len(instructions)))
+        spans.append((start, i))
     return spans

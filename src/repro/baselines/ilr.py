@@ -53,9 +53,16 @@ def instruction_reusability(
     from the location/value columns — ``(locs, values)`` tuple pairs
     discriminate exactly like the row layout's pair-tuples, so the
     flags are identical, without materialising any row records.
+    Chunk streams (:mod:`repro.vm.tracestream`) run the same columnar
+    loop chunk by chunk with a persistent history; only the flag list
+    itself is O(n) (one byte-ish per instruction), never the trace.
     """
     if isinstance(trace, ColumnarTrace):
         return _columnar_reusability(trace)
+    from repro.vm.tracestream import is_chunk_stream
+
+    if is_chunk_stream(trace):
+        return _stream_reusability(trace)
     instructions = stream_of(trace)
     history: dict[int, set] = {}
     flags: list[bool] = []
@@ -117,6 +124,42 @@ def _columnar_reusability(trace: ColumnarTrace) -> ReusabilityResult:
     )
 
 
+def _stream_reusability(stream) -> ReusabilityResult:
+    """:func:`_columnar_reusability` folded over a chunk stream."""
+    history: dict[int, set] = {}
+    history_get = history.get
+    flags: list[bool] = []
+    flags_append = flags.append
+    reusable = 0
+    signature_count = 0
+    for chunk in stream.chunks():
+        pcs = chunk.pcs
+        rb, rl, rv = chunk.read_bounds, chunk.read_locs, chunk.read_vals
+        a = 0
+        for i, pc in enumerate(pcs):
+            b = rb[i + 1]
+            seen = history_get(pc)
+            if seen is None:
+                seen = set()
+                history[pc] = seen
+            sig = (tuple(rl[a:b]), tuple(rv[a:b]))
+            if sig in seen:
+                flags_append(True)
+                reusable += 1
+            else:
+                seen.add(sig)
+                signature_count += 1
+                flags_append(False)
+            a = b
+    return ReusabilityResult(
+        flags=flags,
+        reusable_count=reusable,
+        total_count=len(flags),
+        static_count=len(history),
+        signature_count=signature_count,
+    )
+
+
 def reusability_by_class(
     trace: AnyTrace | Sequence[DynInst],
     flags: Sequence[bool] | None = None,
@@ -124,20 +167,31 @@ def reusability_by_class(
     """Sources of repetition (Sodani & Sohi's [13] style breakdown).
 
     Returns ``{op-class name: (reusable, total, percent)}``, computed
-    from existing flags when provided (one pass otherwise).
+    from existing flags when provided (one pass otherwise).  Accepts
+    chunk streams: the walk is lazy, one chunk of rows at a time.
     """
-    instructions = stream_of(trace)
+    from repro.vm.tracestream import iter_insts, stream_length
+
     if flags is None:
-        flags = instruction_reusability(instructions).flags
-    if len(flags) != len(instructions):
+        flags = instruction_reusability(trace).flags
+    known = stream_length(trace)
+    if known is not None and len(flags) != known:
         raise ValueError("flags must align with the instruction stream")
     totals: dict[str, int] = {}
     hits: dict[str, int] = {}
-    for inst, flag in zip(instructions, flags):
+    flag_count = len(flags)
+    count = 0
+    for inst in iter_insts(trace):
+        if count >= flag_count:
+            raise ValueError("flags must align with the instruction stream")
+        flag = flags[count]
+        count += 1
         name = inst.op_class.name
         totals[name] = totals.get(name, 0) + 1
         if flag:
             hits[name] = hits.get(name, 0) + 1
+    if count != flag_count:
+        raise ValueError("flags must align with the instruction stream")
     return {
         name: (
             hits.get(name, 0),
@@ -156,17 +210,30 @@ def ilr_reuse_plan(
     """Reuse plan for the dataflow model: reusable instructions may
     complete at ``max(own producers) + reuse_latency`` (sections
     4.3/4.5: reuse cannot begin until the instruction's source
-    operands are available)."""
-    instructions = stream_of(trace)
-    if len(flags) != len(instructions):
+    operands are available).
+
+    The plan itself is inherently materialized (one entry per dynamic
+    instruction), but the walk is lazy, so chunk streams work without
+    ever holding the trace rows.
+    """
+    from repro.vm.tracestream import iter_insts, stream_length
+
+    known = stream_length(trace)
+    if known is not None and len(flags) != known:
         raise ValueError("flags must align with the instruction stream")
+    flag_count = len(flags)
     plan: list[ReusePoint | None] = []
-    for inst, flag in zip(instructions, flags):
-        if flag:
+    for inst in iter_insts(trace):
+        i = len(plan)
+        if i >= flag_count:
+            raise ValueError("flags must align with the instruction stream")
+        if flags[i]:
             inputs = tuple(loc for loc, _ in inst.reads)
             plan.append(ReusePoint(inputs=inputs, latency=reuse_latency))
         else:
             plan.append(None)
+    if len(plan) != flag_count:
+        raise ValueError("flags must align with the instruction stream")
     return plan
 
 

@@ -24,7 +24,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.dataflow.model import ReusePoint
-from repro.vm.trace import AnyTrace, DynInst, stream_of
+from repro.vm.trace import AnyTrace, DynInst
 
 
 class LastValuePredictor:
@@ -87,10 +87,15 @@ class PredictionResult:
 def value_predictability(
     trace: AnyTrace | Sequence[DynInst], predictor
 ) -> PredictionResult:
-    """Run a predictor over a stream, recording per-instruction hits."""
-    instructions = stream_of(trace)
+    """Run a predictor over a stream, recording per-instruction hits.
+
+    Accepts chunk streams; the walk is lazy (only the flag list is
+    O(n)).
+    """
+    from repro.vm.tracestream import iter_insts
+
     result = PredictionResult()
-    for inst in instructions:
+    for inst in iter_insts(trace):
         hit = predictor.predict_and_update(inst)
         result.flags.append(hit)
         result.predicted_count += hit
@@ -107,8 +112,10 @@ def value_prediction_plan(
     """Timing plan: predicted instructions complete without waiting
     for their producers (``inputs=()``) — the key difference from
     instruction-level reuse, which is operand-gated."""
-    instructions = stream_of(trace)
-    if len(flags) != len(instructions):
+    from repro.vm.tracestream import stream_length
+
+    known = stream_length(trace)
+    if known is not None and len(flags) != known:
         raise ValueError("flags must align with the instruction stream")
     return [
         ReusePoint(inputs=(), latency=latency) if hit else None for hit in flags

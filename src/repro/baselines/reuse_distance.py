@@ -23,17 +23,36 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.exp.figures import FigureResult
-from repro.vm.trace import AnyTrace, DynInst, stream_of
+from repro.vm.trace import AnyTrace, DynInst
 
 
 class _Fenwick:
-    """Binary indexed tree over timestamps (1-based)."""
+    """Binary indexed tree over timestamps (1-based), growable.
+
+    ``append`` extends the indexed domain by one (value 0) in
+    amortised O(log n): the new node's partial sum is assembled from
+    the sub-ranges it covers.  That lets the reuse-distance scan grow
+    the tree alongside an unsized stream instead of pre-sizing it to
+    ``len(trace)``.
+    """
 
     __slots__ = ("_tree", "_size")
 
-    def __init__(self, size: int):
+    def __init__(self, size: int = 0):
         self._size = size
         self._tree = [0] * (size + 1)
+
+    def append(self) -> None:
+        """Extend the domain by one zero-valued entry."""
+        index = self._size + 1
+        total = 0
+        j = 1
+        step = index & -index
+        while j < step:
+            total += self._tree[index - j]
+            j <<= 1
+        self._tree.append(total)
+        self._size = index
 
     def add(self, index: int, delta: int) -> None:
         index += 1
@@ -81,14 +100,17 @@ def signature_reuse_distances(
     Uses the Fenwick-tree formulation of Mattson stack distances:
     a signature's distance is the number of *distinct* signatures
     whose most recent access falls between its previous access and
-    now — O(n log n) for the whole stream.
+    now — O(n log n) for the whole stream.  Chunk streams are walked
+    lazily; the tree grows with the stream instead of being pre-sized.
     """
-    instructions = stream_of(trace)
-    n = len(instructions)
-    result = ReuseDistanceResult(total_count=n)
-    tree = _Fenwick(n)
+    from repro.vm.tracestream import iter_insts
+
+    result = ReuseDistanceResult()
+    tree = _Fenwick()
     last_access: dict[tuple, int] = {}
-    for t, inst in enumerate(instructions):
+    t = 0
+    for inst in iter_insts(trace):
+        tree.append()
         key = (inst.pc, inst.reads)
         prev = last_access.get(key)
         if prev is None:
@@ -101,6 +123,8 @@ def signature_reuse_distances(
             tree.add(prev, -1)
         tree.add(t, 1)
         last_access[key] = t
+        t += 1
+    result.total_count = t
     return result
 
 

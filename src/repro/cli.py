@@ -21,8 +21,14 @@ Commands
     Disassemble a kernel's text segment.
 ``cache {info,clear}``
     Inspect or wipe the persistent trace/profile cache
-    (``.repro-cache/``; see ``repro.vm.tracecache``).  Commands that
-    execute kernels accept ``--no-cache`` to bypass it.
+    (``.repro-cache/``; see ``repro.vm.tracecache``).  ``info`` lists
+    every cached trace with its format version (v2/v3), on-disk size
+    and compression ratio.  Commands that execute kernels accept
+    ``--no-cache`` to bypass it.
+``trace info PATH``
+    Structural stats of a saved trace file: format version, program,
+    instruction count, and — for chunked v3 files — chunk geometry and
+    compression ratio (read from the footer alone, O(1)).
 ``obs {list,show}``
     Inspect the JSONL run manifests that ``figures`` (and the
     benchmark suite) record under ``<cache_dir>/runs/`` — per-kernel
@@ -87,12 +93,20 @@ def _cmd_run(args) -> int:
          for cls, count in hist],
     ))
     if args.save_trace:
-        save_trace(trace, args.save_trace)
-        print(f"trace written to {args.save_trace}")
+        fmt = args.trace_format
+        if fmt is None:
+            # .jsonl/.gz ask for the portable JSON-lines layout;
+            # anything else gets the chunked v3 format
+            fmt = ("v1" if str(args.save_trace).endswith((".jsonl", ".gz"))
+                   else "v3")
+        save_trace(trace, args.save_trace, format=fmt)
+        print(f"trace written to {args.save_trace} ({fmt})")
     return 0
 
 
 def _cmd_analyze(args) -> int:
+    if args.stream:
+        return _cmd_analyze_stream(args)
     trace = run_workload(
         args.workload,
         max_instructions=args.budget,
@@ -120,10 +134,48 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_analyze_stream(args) -> int:
+    """``analyze --stream``: same numbers, O(chunk) memory.
+
+    The trace is consumed as a chunk stream and all six scenarios fold
+    inside one :class:`StreamingDataflowEngine` drain; output is
+    bit-identical to the materialized path.
+    """
+    from repro.dataflow.model import Scenario
+    from repro.dataflow.streaming import StreamingDataflowEngine
+    from repro.workloads.base import stream_workload
+
+    stream = stream_workload(
+        args.workload,
+        max_instructions=args.budget,
+        use_cache=not args.no_cache,
+        backend=args.backend,
+    )
+    engine = StreamingDataflowEngine(stream)
+    scenarios = []
+    for window in (None, args.window):
+        scenarios.append(Scenario("base", window_size=window))
+        scenarios.append(Scenario("ilr", window_size=window, latency=1.0))
+        scenarios.append(Scenario("tlr", window_size=window, latency=1.0))
+    results = engine.analyze_all(scenarios)
+    stats = engine.io_stats
+    print(f"{args.workload}: {engine.n} instructions, "
+          f"{engine.reuse.percent_reusable:.1f}% reusable, "
+          f"{stats.trace_count} traces (avg {stats.avg_trace_size:.1f} instr, "
+          f"{stats.avg_inputs:.1f} in / {stats.avg_outputs:.1f} out)")
+    rows = []
+    for i, window in enumerate((None, args.window)):
+        base, ilr, tlr = results[3 * i:3 * i + 3]
+        label = "infinite" if window is None else f"W={args.window}"
+        rows.append([label, base.ipc, ilr.speedup_over(base), tlr.speedup_over(base)])
+    print(format_table(["window", "base_ipc", "ilr_speedup", "tlr_speedup"], rows))
+    return 0
+
+
 def _cmd_figures(args) -> int:
     config = ExperimentConfig(
         max_instructions=args.budget, use_cache=not args.no_cache,
-        backend=args.backend,
+        backend=args.backend, streaming=True if args.stream else None,
     )
     profiles = collect_profiles(config)
     for failure in getattr(profiles, "failures", ()):
@@ -150,7 +202,7 @@ def _cmd_figures(args) -> int:
     if args.fig9:
         fig9_config = ExperimentConfig(
             max_instructions=args.fig9_budget, use_cache=not args.no_cache,
-            backend=args.backend,
+            backend=args.backend, streaming=True if args.stream else None,
         )
         print(render(figure9(fig9_config)))
     if getattr(profiles, "manifest_path", None) is not None:
@@ -201,7 +253,7 @@ def _cmd_cache(args) -> int:
         removed = tracecache.clear_cache()
         print(f"removed {removed} cache entries from {tracecache.cache_dir()}")
         return 0
-    info = tracecache.cache_info()
+    info = tracecache.cache_info(per_entry=True)
     state = "enabled" if info["enabled"] else "disabled (REPRO_TRACE_CACHE=0)"
     print(f"cache directory: {info['dir']} ({state})")
     print(format_table(
@@ -212,6 +264,50 @@ def _cmd_cache(args) -> int:
             ["runs", info["runs"], info["run_bytes"]],
         ],
     ))
+    entries = info.get("trace_entries") or []
+    if entries:
+        print()
+        print(format_table(
+            ["trace entry", "format", "bytes", "instructions", "ratio"],
+            [
+                [
+                    e["file"],
+                    e["format"],
+                    e["bytes"],
+                    "-" if e["instructions"] is None else e["instructions"],
+                    "-" if e["compression_ratio"] is None
+                    else f"{e['compression_ratio']:.1f}x",
+                ]
+                for e in entries
+            ],
+        ))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.vm.tracefile import TraceFileError, trace_file_info
+
+    try:
+        info = trace_file_info(args.path)
+    except (TraceFileError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = [
+        ["format", info["format"]],
+        ["program", info["program"]],
+        ["instructions", info["instructions"]],
+        ["halted", info["halted"]],
+        ["truncated", info["truncated"]],
+        ["file bytes", info["file_bytes"]],
+        ["bytes/instr", f"{info['bytes_per_instruction']:.2f}"],
+    ]
+    if info["chunk_count"] is not None:
+        rows.append(["chunks", info["chunk_count"]])
+        rows.append(["chunk size", info["chunk_size"]])
+        rows.append(["encoded bytes", info["encoded_bytes"]])
+        rows.append(["compressed bytes", info["compressed_bytes"]])
+        rows.append(["compression", f"{info['compression_ratio']:.1f}x"])
+    print(format_table(["field", "value"], rows, title=info["path"]))
     return 0
 
 
@@ -327,6 +423,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("workload")
     p_run.add_argument("--budget", type=int, default=20_000)
     p_run.add_argument("--save-trace", metavar="PATH")
+    p_run.add_argument("--trace-format", choices=["v1", "v2", "v3"],
+                       default=None,
+                       help="on-disk format for --save-trace (default: "
+                       "chunked v3, or v1 for .jsonl/.gz paths)")
     p_run.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent trace cache")
 
@@ -336,6 +436,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--window", type=int, default=256)
     p_an.add_argument("--no-cache", action="store_true",
                       help="bypass the persistent trace cache")
+    p_an.add_argument("--stream", action="store_true",
+                      help="analyse through the streaming pipeline "
+                      "(O(chunk) memory, bit-identical numbers)")
 
     p_fig = sub.add_parser("figures", help="regenerate the paper's figures", parents=[backend_parent])
     p_fig.add_argument("--budget", type=int, default=20_000)
@@ -344,6 +447,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--fig9-budget", type=int, default=8_000)
     p_fig.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent trace/profile cache")
+    p_fig.add_argument("--stream", action="store_true",
+                       help="profile every kernel through the streaming "
+                       "pipeline (O(chunk) memory, bit-identical numbers)")
 
     p_rtm = sub.add_parser("rtm", help="finite-RTM design sweep", parents=[backend_parent])
     p_rtm.add_argument("workload")
@@ -365,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache = sub.add_parser("cache", help="inspect or wipe the trace cache")
     p_cache.add_argument("action", choices=["info", "clear"])
 
+    p_tr = sub.add_parser("trace", help="inspect a saved trace file")
+    p_tr.add_argument("action", choices=["info"])
+    p_tr.add_argument("path", help="path to a .trace file (v1/v2/v3)")
+
     p_obs = sub.add_parser("obs", help="inspect recorded run manifests")
     p_obs.add_argument("action", choices=["list", "show"])
     p_obs.add_argument("run", nargs="?", default="latest",
@@ -382,6 +492,7 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "characterize": _cmd_characterize,
     "cache": _cmd_cache,
+    "trace": _cmd_trace,
     "obs": _cmd_obs,
 }
 

@@ -80,13 +80,18 @@ class TraceCollector:
         self,
         heuristic: Heuristic,
         rtm: ReuseTraceMemory,
-        stream: Sequence[DynInst],
+        stream: Sequence[DynInst] | None = None,
         *,
         limits: TraceLimits = TraceLimits(),
         ilr_buffer: InstructionReuseBuffer | None = None,
     ):
         self.heuristic = heuristic
         self.rtm = rtm
+        # Collection itself is stream-free: every entry field is
+        # recorded as instructions arrive (``_start_pc`` on the first
+        # append, ``_last_next_pc`` on every append).  ``stream`` is
+        # only kept as a random-access fallback for ``on_reuse`` calls
+        # that do not hand over the skipped instructions.
         self.stream = stream
         self.limits = limits
         if isinstance(heuristic, ILRHeuristic):
@@ -100,6 +105,8 @@ class TraceCollector:
         self._min_end = 0  # finalisation inserts only if end > _min_end
         self._expanding = False
         self._target_end: int | None = None  # fixed-length mode only
+        self._start_pc: int | None = None
+        self._last_next_pc: int | None = None
         # incremental liveness of the trace under construction
         self._live_in: dict[int, int | float] = {}
         self._live_out: dict[int, int | float] = {}
@@ -120,6 +127,8 @@ class TraceCollector:
         self._min_end = i
         self._expanding = False
         self._target_end = None
+        self._start_pc = None
+        self._last_next_pc = None
         self._live_in = {}
         self._live_out = {}
         self._reg_in = self._mem_in = self._reg_out = self._mem_out = 0
@@ -158,6 +167,9 @@ class TraceCollector:
             live_out[loc] = val
         self._reg_in, self._mem_in = reg_in, mem_in
         self._reg_out, self._mem_out = reg_out, mem_out
+        if self._start_pc is None:
+            self._start_pc = inst.pc
+        self._last_next_pc = inst.next_pc
         return True
 
     def _abandon(self) -> None:
@@ -168,15 +180,22 @@ class TraceCollector:
         self._target_end = None
 
     def _insert_range(self, end: int) -> None:
-        """Insert ``stream[base:end]`` without closing the collection."""
+        """Insert ``stream[base:end]`` without closing the collection.
+
+        The entry's PCs come from the recorded ``_start_pc`` /
+        ``_last_next_pc`` — every appended instruction updated them, so
+        they equal ``stream[base].pc`` / ``stream[end - 1].next_pc``
+        without touching the stream.
+        """
         base = self._base
         assert base is not None
+        assert self._start_pc is not None and self._last_next_pc is not None
         entry = RTMEntry(
-            start_pc=self.stream[base].pc,
+            start_pc=self._start_pc,
             length=end - base,
             inputs=tuple(self._live_in.items()),
             outputs=tuple(self._live_out.items()),
-            next_pc=self.stream[end - 1].next_pc,
+            next_pc=self._last_next_pc,
         )
         self.rtm.insert(entry)
         self.collected += 1
@@ -190,17 +209,29 @@ class TraceCollector:
         self._expanding = False
         self._target_end = None
 
-    def _replay(self, start: int, stop: int) -> bool:
+    def _replay(
+        self, start: int, stop: int,
+        insts: Sequence[DynInst] | None = None,
+    ) -> bool:
         """Append already-known stream instructions (a reused range).
 
-        Returns False if the I/O limits were hit part-way, in which
-        case the merged prefix has been finalised and collection
-        stopped.
+        ``insts``, when given, supplies ``stream[start:stop]`` directly
+        (the streaming simulator hands over its lookahead window);
+        otherwise the range is read from ``self.stream``.  Returns
+        False if the I/O limits were hit part-way, in which case the
+        merged prefix has been finalised and collection stopped.
         """
-        for j in range(start, stop):
-            if not self._try_append(self.stream[j]):
+        if insts is None:
+            if self.stream is None:
+                raise ValueError(
+                    "on_reuse needs the skipped instructions when the "
+                    "collector has no random-access stream"
+                )
+            insts = self.stream[start:stop]
+        for off, inst in enumerate(insts):
+            if not self._try_append(inst):
                 self.limit_terminations += 1
-                self._finalize(j)
+                self._finalize(start + off)
                 return False
         return True
 
@@ -245,8 +276,16 @@ class TraceCollector:
         if self._target_end is not None and i + 1 >= self._target_end:
             self._finalize(i + 1)
 
-    def on_reuse(self, i: int, entry: RTMEntry) -> None:
-        """A trace reuse at index ``i`` covering ``stream[i:i+length]``."""
+    def on_reuse(
+        self, i: int, entry: RTMEntry,
+        insts: Sequence[DynInst] | None = None,
+    ) -> None:
+        """A trace reuse at index ``i`` covering ``stream[i:i+length]``.
+
+        ``insts`` optionally carries the skipped instructions
+        themselves, which frees the collector from random stream
+        access (required when driving from a chunk stream).
+        """
         stop = i + entry.length
         if self._base is not None:
             if self._expanding:
@@ -254,7 +293,7 @@ class TraceCollector:
                 # expansion in progress and store the merged trace now
                 # ("traces can be dynamically expanded when two
                 # consecutive traces are reused")
-                if self._replay(i, stop):
+                if self._replay(i, stop, insts):
                     self._insert_range(stop)
                     self._min_end = stop
                     if isinstance(self.heuristic, FixedLengthHeuristic):
@@ -270,7 +309,7 @@ class TraceCollector:
             return
         self._start(i)
         self._expanding = True
-        if self._replay(i, stop):
+        if self._replay(i, stop, insts):
             self._min_end = stop
             if isinstance(self.heuristic, FixedLengthHeuristic):
                 self._target_end = stop + self.heuristic.n

@@ -31,7 +31,58 @@ from repro.core.rtm.collector import (
 from repro.core.rtm.invalidating import InvalidatingRTM
 from repro.core.rtm.memory import ReuseTraceMemory, RTMConfig
 from repro.core.traces import TraceLimits
-from repro.vm.trace import AnyTrace, DynInst, stream_of
+from repro.vm.trace import AnyTrace, DynInst
+from repro.vm.tracestream import iter_insts
+
+
+class _StreamCursor:
+    """A bounded forward window over a ``DynInst`` iterator.
+
+    The simulator needs one-instruction lookahead plus, on a reuse
+    hit, the next ``entry.length`` instructions; everything behind the
+    fetch point is released.  Memory is O(longest RTM entry + one
+    source chunk), never O(stream).
+    """
+
+    __slots__ = ("_it", "_buf", "_base", "_eof")
+
+    def __init__(self, it):
+        self._it = it
+        self._buf: list[DynInst] = []
+        self._base = 0
+        self._eof = False
+
+    def _fill_to(self, stop: int) -> bool:
+        """Buffer through global index ``stop`` (exclusive); False at EOF."""
+        need = stop - self._base - len(self._buf)
+        while need > 0:
+            try:
+                self._buf.append(next(self._it))
+            except StopIteration:
+                self._eof = True
+                return False
+            need -= 1
+        return True
+
+    def get(self, i: int) -> DynInst | None:
+        """The instruction at global index ``i`` (None past the end)."""
+        if not self._fill_to(i + 1):
+            return None
+        return self._buf[i - self._base]
+
+    def get_range(self, i: int, stop: int) -> list[DynInst] | None:
+        """``stream[i:stop]`` as a list, or None if the stream ends first."""
+        if not self._fill_to(stop):
+            return None
+        base = self._base
+        return self._buf[i - base : stop - base]
+
+    def release(self, i: int) -> None:
+        """Drop every buffered instruction before global index ``i``."""
+        drop = i - self._base
+        if drop > 0:
+            del self._buf[:drop]
+            self._base = i
 
 
 @dataclass(slots=True)
@@ -121,8 +172,14 @@ class FiniteReuseSimulator:
         self.reuse_test = reuse_test
 
     def run(self, trace: AnyTrace | Sequence[DynInst]) -> FiniteReuseResult:
-        """Simulate the engine over one captured stream."""
-        stream = stream_of(trace)
+        """Simulate the engine over one captured stream.
+
+        ``trace`` may be a materialized trace *or* a chunk stream
+        (:mod:`repro.vm.tracestream`); either way the walk is a single
+        forward pass through a :class:`_StreamCursor` whose lookahead
+        never exceeds the longest stored trace, so streams larger than
+        memory simulate fine.
+        """
         if self.reuse_test == "invalidate":
             rtm = InvalidatingRTM(self.rtm_config)
         else:
@@ -140,7 +197,6 @@ class FiniteReuseSimulator:
         collector = TraceCollector(
             self.heuristic,
             collector_rtm,
-            stream,
             limits=self.limits,
             ilr_buffer=ilr_buffer,
         )
@@ -148,18 +204,25 @@ class FiniteReuseSimulator:
         reused_ranges: list[tuple[int, int]] = []
         reused_entries: list = []
         reused_instructions = 0
-        n = len(stream)
+        cursor = _StreamCursor(iter_insts(trace))
         i = 0
-        while i < n:
-            inst = stream[i]
+        while True:
+            inst = cursor.get(i)
+            if inst is None:
+                break
             entry = rtm.lookup(inst.pc, current)
-            if entry is not None and i + entry.length <= n:
+            if entry is not None:
                 stop = i + entry.length
+                # a stream that ends before the entry does cannot reuse
+                # it (the materialized guard was i + length <= n)
+                window = cursor.get_range(i, stop)
+            else:
+                window = None
+            if window is not None:
                 if self.validate:
-                    self._check_entry(stream, i, stop, entry)
-                collector.on_reuse(i, entry)
-                for j in range(i, stop):
-                    skipped = stream[j]
+                    self._check_entry(window, i, stop, entry)
+                collector.on_reuse(i, entry, window)
+                for skipped in window:
                     for loc, val in skipped.reads:
                         current[loc] = val
                     for loc, val in skipped.writes:
@@ -170,6 +233,7 @@ class FiniteReuseSimulator:
                 reused_entries.append(entry)
                 reused_instructions += entry.length
                 i = stop
+                cursor.release(i)
                 continue
             collector.on_fetch(i, inst)
             for loc, val in inst.reads:
@@ -179,6 +243,8 @@ class FiniteReuseSimulator:
                 if invalidating:
                     rtm.on_write(loc)
             i += 1
+            cursor.release(i)
+        n = i
         collector.flush(n)
 
         return FiniteReuseResult(
@@ -197,22 +263,26 @@ class FiniteReuseSimulator:
 
     @staticmethod
     def _check_entry(
-        stream: Sequence[DynInst], start: int, stop: int, entry
+        window: Sequence[DynInst], start: int, stop: int, entry
     ) -> None:
-        """Assert the stored trace matches the actual dynamic path."""
-        if stream[start].pc != entry.start_pc:
+        """Assert the stored trace matches the actual dynamic path.
+
+        ``window`` holds ``stream[start:stop]``; the indices are for
+        error messages only.
+        """
+        if window[0].pc != entry.start_pc:
             raise TraceMismatchError(
-                f"entry start pc {entry.start_pc} != stream pc {stream[start].pc}"
+                f"entry start pc {entry.start_pc} != stream pc {window[0].pc}"
             )
-        if stream[stop - 1].next_pc != entry.next_pc:
+        if window[-1].next_pc != entry.next_pc:
             raise TraceMismatchError(
                 f"entry next pc {entry.next_pc} != actual "
-                f"{stream[stop - 1].next_pc} at index {stop - 1}"
+                f"{window[-1].next_pc} at index {stop - 1}"
             )
         outputs = dict(entry.outputs)
         actual: dict[int, int | float] = {}
-        for j in range(start, stop):
-            for loc, val in stream[j].writes:
+        for skipped in window:
+            for loc, val in skipped.writes:
                 if loc in outputs:
                     actual[loc] = val
         if actual != outputs:

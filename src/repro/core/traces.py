@@ -209,7 +209,15 @@ def maximal_reusable_spans(
     :func:`repro.baselines.ilr.instruction_reusability`.  By Theorem 1
     the resulting spans upper-bound what any trace-reuse scheme can
     cover, using the minimum number of reuse operations.
+
+    Chunk streams (:mod:`repro.vm.tracestream`) are walked lazily:
+    only the rows of the flagged run under construction are buffered,
+    so memory is O(longest span), not O(stream).
     """
+    from repro.vm.tracestream import is_chunk_stream
+
+    if is_chunk_stream(trace):
+        return _stream_maximal_spans(trace, flags)
     if isinstance(trace, ColumnarTrace):
         n = len(trace)
 
@@ -235,6 +243,53 @@ def maximal_reusable_spans(
             start = None
     if start is not None:
         spans.append(make_span(start, n))
+    return spans
+
+
+def _stream_maximal_spans(
+    stream, flags: Sequence[bool]
+) -> list[TraceSpan]:
+    """:func:`maximal_reusable_spans` over a chunk stream.
+
+    The liveness construction matches :func:`compute_liveness` (same
+    dict-insertion order), so the spans equal the materialized ones
+    field for field.
+    """
+    from repro.vm.tracestream import iter_insts
+
+    flag_count = len(flags)
+    spans: list[TraceSpan] = []
+    body: list[DynInst] = []
+    start: int | None = None
+
+    def close(stop: int) -> None:
+        live_ins, live_outs = compute_liveness(body)
+        spans.append(TraceSpan(
+            start=start,
+            stop=stop,
+            start_pc=body[0].pc,
+            next_pc=body[-1].next_pc,
+            live_ins=live_ins,
+            live_outs=live_outs,
+        ))
+        body.clear()
+
+    i = 0
+    for inst in iter_insts(stream):
+        if i >= flag_count:
+            raise ValueError("flags must align with the instruction stream")
+        if flags[i]:
+            if start is None:
+                start = i
+            body.append(inst)
+        elif start is not None:
+            close(i)
+            start = None
+        i += 1
+    if i != flag_count:
+        raise ValueError("flags must align with the instruction stream")
+    if start is not None:
+        close(i)
     return spans
 
 

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.obs import profiling_enabled
 from repro.obs.telemetry import current as _telemetry
-from repro.vm.trace import AnyTrace, DynInst, stream_of
+from repro.vm.trace import AnyTrace, DynInst
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,12 +105,20 @@ class DataflowModel:
 
         ``reuse_plan``, when given, must align 1:1 with the stream;
         ``None`` entries mean "no reuse opportunity here".
+
+        ``trace`` may also be a chunk stream
+        (:mod:`repro.vm.tracestream`): the scan folds dependence state
+        chunk by chunk and never materialises the stream — the
+        ``ready`` table and the window ring are O(state), not O(n).
         """
-        instructions = stream_of(trace)
-        n = len(instructions)
-        if reuse_plan is not None and len(reuse_plan) != n:
+        from repro.vm.tracestream import iter_insts, stream_length
+
+        instructions = iter_insts(trace)
+        known = stream_length(trace)
+        if reuse_plan is not None and known is not None \
+                and len(reuse_plan) != known:
             raise ValueError(
-                f"reuse plan length {len(reuse_plan)} != stream length {n}"
+                f"reuse plan length {len(reuse_plan)} != stream length {known}"
             )
 
         ready: dict[int, float] = {}
@@ -128,9 +136,19 @@ class DataflowModel:
         # ready table — that is what lets a dependent chain collapse.
         last_point: ReusePoint | None = None
         cached_reuse_start = 0.0
+        plan_len = len(reuse_plan) if reuse_plan is not None else 0
 
+        n = 0
         for i, inst in enumerate(instructions):
-            point = reuse_plan[i] if reuse_plan is not None else None
+            n = i + 1
+            if reuse_plan is None:
+                point = None
+            else:
+                if i >= plan_len:
+                    raise ValueError(
+                        f"reuse plan length {plan_len} < stream length"
+                    )
+                point = reuse_plan[i]
             fetchable = point is None or not point.fetch_free
 
             # normal execution time (only meaningful if fetched)
@@ -183,6 +201,10 @@ class DataflowModel:
                 ring[fetched % window] = grad_running
                 fetched += 1
 
+        if reuse_plan is not None and plan_len != n:
+            raise ValueError(
+                f"reuse plan length {plan_len} != stream length {n}"
+            )
         return TimingResult(
             instruction_count=n,
             total_cycles=max(max_completion, 1.0) if n else 0.0,

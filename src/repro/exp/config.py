@@ -23,6 +23,10 @@ _NON_SEMANTIC_FIELDS = frozenset({
     # execution backends are bit-identical by contract, so the choice
     # changes wall-clock time, never the analysed profile
     "backend",
+    # the streaming pipeline is bit-identical to the materialized one
+    # (differential-tested), so these change memory/wall-clock only
+    "streaming",
+    "stream_chunk_size",
 })
 
 
@@ -59,6 +63,12 @@ class ExperimentConfig:
     #: execution backend for kernel runs (see :mod:`repro.vm.backends`);
     #: None defers to ``REPRO_BACKEND`` and then the interpreter
     backend: str | None = None
+    #: analyse through the streaming pipeline (O(chunk) memory, same
+    #: numbers bit for bit); None defers to ``REPRO_STREAMING``
+    streaming: bool | None = None
+    #: instructions per chunk for the streaming pipeline (None = the
+    #: tracestream default)
+    stream_chunk_size: int | None = None
 
     def cache_key(self) -> tuple:
         """Every analysis-relevant config field, as (name, value) pairs.

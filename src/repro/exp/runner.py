@@ -51,11 +51,17 @@ from repro.core.reuse_tlr import (
 from repro.core.stats import TraceIOStats, trace_io_stats
 from repro.core.traces import average_span_length, maximal_reusable_spans
 from repro.dataflow.model import DataflowModel, FusedDataflowEngine, Scenario
+from repro.dataflow.streaming import StreamingDataflowEngine
 from repro.exp.config import ExperimentConfig
 from repro.obs.manifest import RunManifest
 from repro.util.parallel import default_worker_count
 from repro.vm import tracecache
-from repro.workloads.base import build_program, get_workload, run_workload
+from repro.workloads.base import (
+    build_program,
+    get_workload,
+    run_workload,
+    stream_workload,
+)
 
 _log = obs.get_logger("runner")
 
@@ -63,6 +69,18 @@ _log = obs.get_logger("runner")
 #: modes ``crash`` (kill the worker), ``raise`` (raise RuntimeError)
 #: and ``sleep<seconds>`` (stall; trips the per-task timeout).
 FAULT_ENV = "REPRO_FAULT_INJECT"
+
+#: Opt into the streaming pipeline globally (``config.streaming=None``
+#: defers here); truthy values: 1/true/yes/on.
+STREAMING_ENV = "REPRO_STREAMING"
+
+
+def _streaming_enabled(config: ExperimentConfig) -> bool:
+    """Resolve ``config.streaming`` against the environment."""
+    if config.streaming is not None:
+        return config.streaming
+    value = os.environ.get(STREAMING_ENV, "").strip().lower()
+    return value in ("1", "true", "yes", "on")
 
 
 @dataclass(slots=True)
@@ -105,6 +123,8 @@ def run_profile(
     """
     if config is None:
         config = ExperimentConfig()
+    if _streaming_enabled(config):
+        return run_profile_streaming(name, config)
     if config.use_cache:
         cached = tracecache.load_cached_profile(name, config.cache_key())
         if isinstance(cached, BenchmarkProfile):
@@ -160,6 +180,92 @@ def run_profile(
             profile.tlr_speedup_win_prop[k] = engine.analyze(
                 Scenario("tlr", window_size=win, k=k)
             ).speedup_over(base_win)
+
+    obs.incr("profiles.computed")
+    if config.use_cache:
+        tracecache.store_cached_profile(name, config.cache_key(), profile)
+    return profile
+
+
+def run_profile_streaming(
+    name: str, config: ExperimentConfig | None = None
+) -> BenchmarkProfile:
+    """:func:`run_profile` through the streaming pipeline.
+
+    The trace is consumed as a chunk stream (cache hits decode the v3
+    entry chunk by chunk; misses execute through an incremental
+    writer), and every scenario folds inside one
+    :class:`StreamingDataflowEngine` drain — peak memory is O(chunk),
+    not O(trace).  The numbers are bit-for-bit identical to
+    :func:`run_profile`, which is why the two paths share one profile
+    cache key (``streaming`` is a non-semantic config field).
+    """
+    if config is None:
+        config = ExperimentConfig()
+    if config.use_cache:
+        cached = tracecache.load_cached_profile(name, config.cache_key())
+        if isinstance(cached, BenchmarkProfile):
+            return cached
+    workload = get_workload(name)
+    with obs.time_stage("stage.trace"):
+        stream = stream_workload(
+            name,
+            scale=config.scale,
+            max_instructions=config.max_instructions,
+            use_cache=config.use_cache,
+            backend=config.backend,
+            chunk_size=config.stream_chunk_size,
+        )
+    with obs.time_stage("stage.engine_init"):
+        if config.stream_chunk_size is not None:
+            engine = StreamingDataflowEngine(
+                stream, chunk_size=config.stream_chunk_size
+            )
+        else:
+            engine = StreamingDataflowEngine(stream)
+
+    # Mirror run_profile's scenario set exactly; each scenario's result
+    # is independent of the others, so ordering only decides which
+    # TimingResult lands where.
+    win = config.window_size
+    scenarios = [
+        Scenario("base", window_size=None),
+        Scenario("base", window_size=win),
+    ]
+    for latency in config.reuse_latencies:
+        lat = float(latency)
+        scenarios.append(Scenario("ilr", window_size=None, latency=lat))
+        scenarios.append(Scenario("ilr", window_size=win, latency=lat))
+        scenarios.append(Scenario("tlr", window_size=None, latency=lat))
+        scenarios.append(Scenario("tlr", window_size=win, latency=lat))
+    for k in config.proportional_ks:
+        scenarios.append(Scenario("tlr", window_size=win, k=k))
+
+    with obs.time_stage("stage.analysis"):
+        results = iter(engine.analyze_all(scenarios))
+        base_inf = next(results)
+        base_win = next(results)
+
+        profile = BenchmarkProfile(
+            name=name,
+            suite=workload.suite,
+            dynamic_count=engine.n,
+            percent_reusable=engine.reuse.percent_reusable,
+            avg_trace_size=engine.avg_span_length,
+            trace_count=engine.span_count,
+            base_ipc_inf=base_inf.ipc,
+            base_ipc_win=base_win.ipc,
+            io_stats=engine.io_stats,
+        )
+
+        for latency in config.reuse_latencies:
+            profile.ilr_speedup_inf[latency] = next(results).speedup_over(base_inf)
+            profile.ilr_speedup_win[latency] = next(results).speedup_over(base_win)
+            profile.tlr_speedup_inf[latency] = next(results).speedup_over(base_inf)
+            profile.tlr_speedup_win[latency] = next(results).speedup_over(base_win)
+
+        for k in config.proportional_ks:
+            profile.tlr_speedup_win_prop[k] = next(results).speedup_over(base_win)
 
     obs.incr("profiles.computed")
     if config.use_cache:

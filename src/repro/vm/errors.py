@@ -3,6 +3,16 @@
 from __future__ import annotations
 
 
+class TraceFileError(ValueError):
+    """Malformed, truncated or incompatible trace file.
+
+    Defined here (rather than in :mod:`repro.vm.tracefile`) so the
+    chunked v3 codec (:mod:`repro.vm.tracev3`) and the classic
+    tracefile front-end can both raise it without importing each
+    other; :mod:`repro.vm.tracefile` re-exports it for compatibility.
+    """
+
+
 class VMError(RuntimeError):
     """A dynamic execution fault (bad PC, division by zero, ...).
 

@@ -985,6 +985,7 @@ class FastMachine(Machine):
         self._codes: dict[int, object] = {}
         self._rcounts: list[int] = []
         self._wcounts: list[int] = []
+        self._hits: list[int] | None = None
 
     def _analyze(self) -> None:
         n = len(self.program.instructions)
@@ -1073,7 +1074,13 @@ class FastMachine(Machine):
                 cap += add
 
         fns: list = [None] * n_static
-        hits = [0] * n_static
+        # ``hits`` persists across run() calls so chunked execution
+        # (run_chunks) recompiles already-hot blocks immediately
+        # instead of re-warming per chunk; ``fns`` must stay per-call
+        # because each closure binds this call's trace columns.
+        hits = self._hits
+        if hits is None or len(hits) != n_static:
+            hits = self._hits = [0] * n_static
         shorts = [0] * n_static  # entries that exited in the 1st quarter
         retired: dict[int, int] = {}
         blocks = self._blocks

@@ -466,11 +466,78 @@ def stream_of(trace: "AnyTrace | Sequence[DynInst]") -> Sequence[DynInst]:
     return trace
 
 
-def as_columnar(trace: "AnyTrace | Sequence[DynInst]") -> ColumnarTrace:
-    """The columnar view of any trace-like argument (converting if needed)."""
+def as_columnar(trace) -> ColumnarTrace:
+    """The columnar view of any trace-like argument (converting if needed).
+
+    Accepts either trace layout, a plain ``DynInst`` sequence, or a
+    *chunk stream* (any object with a ``chunks()`` method yielding
+    columnar segments, e.g. :class:`repro.vm.tracestream.TraceStream`
+    or :class:`repro.vm.tracev3.TraceReader`) — the materializing
+    adapter the streaming pipeline keeps for whole-trace consumers.
+    """
     if isinstance(trace, ColumnarTrace):
         return trace
+    if isinstance(trace, Trace):
+        return ColumnarTrace.from_trace(trace)
+    if hasattr(trace, "chunks"):
+        out = ColumnarTrace()
+        for segment in trace.chunks():
+            extend_columnar(out, segment)
+        # metadata is read *after* draining: execution-backed streams
+        # only know halted/truncated once the run finishes
+        out.program_name = getattr(trace, "program_name", "<anonymous>")
+        out.halted = getattr(trace, "halted", False)
+        out.truncated = getattr(trace, "truncated", False)
+        return out
     return ColumnarTrace.from_trace(trace)
+
+
+def extend_columnar(dst: ColumnarTrace, src: ColumnarTrace) -> None:
+    """Append every instruction of ``src`` onto ``dst`` (column-wise).
+
+    The concatenation primitive behind the streaming adapters: bounds
+    are rebased so ``dst`` stays a self-consistent columnar trace.
+    """
+    dst.pcs.extend(src.pcs)
+    dst.ops.extend(src.ops)
+    dst.lats.extend(src.lats)
+    dst.next_pcs.extend(src.next_pcs)
+    rbase = dst.read_bounds[-1]
+    dst.read_bounds.extend(b + rbase for b in src.read_bounds[1:])
+    dst.read_locs.extend(src.read_locs)
+    dst.read_vals.extend(src.read_vals)
+    wbase = dst.write_bounds[-1]
+    dst.write_bounds.extend(b + wbase for b in src.write_bounds[1:])
+    dst.write_locs.extend(src.write_locs)
+    dst.write_vals.extend(src.write_vals)
+    dst._rows = None
+
+
+def slice_columnar(ct: ColumnarTrace, start: int, stop: int) -> ColumnarTrace:
+    """Instructions ``[start, stop)`` as a new columnar segment.
+
+    Bounds are rebased to the slice; the segment carries
+    ``halted=False, truncated=True`` (it is a piece of a stream, not a
+    complete run).
+    """
+    n = len(ct.pcs)
+    start = max(0, min(start, n))
+    stop = max(start, min(stop, n))
+    out = ColumnarTrace(program_name=ct.program_name, halted=False,
+                        truncated=True)
+    out.pcs = ct.pcs[start:stop]
+    out.ops = ct.ops[start:stop]
+    out.lats = ct.lats[start:stop]
+    out.next_pcs = ct.next_pcs[start:stop]
+    ra, rb = ct.read_bounds[start], ct.read_bounds[stop]
+    out.read_bounds = array("I", (b - ra for b in ct.read_bounds[start:stop + 1]))
+    out.read_locs = ct.read_locs[ra:rb]
+    out.read_vals = ct.read_vals[ra:rb]
+    wa, wb = ct.write_bounds[start], ct.write_bounds[stop]
+    out.write_bounds = array("I", (b - wa for b in ct.write_bounds[start:stop + 1]))
+    out.write_locs = ct.write_locs[wa:wb]
+    out.write_vals = ct.write_vals[wa:wb]
+    return out
 
 
 def slice_trace(trace: "AnyTrace", start: int, stop: int) -> Trace:

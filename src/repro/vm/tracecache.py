@@ -51,7 +51,13 @@ from typing import Any
 
 from repro.obs import get_logger, incr
 from repro.vm.trace import ColumnarTrace
-from repro.vm.tracefile import TraceFileError, load_trace, save_trace
+from repro.vm.tracefile import (
+    MAGIC_V2,
+    TraceFileError,
+    load_trace,
+    save_trace,
+)
+from repro.vm.tracev3 import MAGIC_V3, trace_v3_info
 
 _log = get_logger("tracecache")
 
@@ -67,6 +73,7 @@ TRACE_MODULES = (
     "repro.vm.assembler",
     "repro.vm.machine",
     "repro.vm.trace",
+    "repro.vm.tracev3",
 )
 
 #: Extra trace-defining modules per non-default execution backend.
@@ -90,6 +97,7 @@ ANALYSIS_MODULES = TRACE_MODULES + (
     "repro.core.stats",
     "repro.core.reuse_tlr",
     "repro.dataflow.model",
+    "repro.dataflow.streaming",
     "repro.exp.runner",
 )
 
@@ -217,8 +225,82 @@ def store_cached_trace(
     if not cache_enabled():
         return
     path = trace_path(name, scale, max_instructions, source_text, backend)
-    _atomic_write(path, lambda tmp: save_trace(trace, tmp, format="v2"))
+    _atomic_write(path, lambda tmp: save_trace(trace, tmp, format="v3"))
     incr("trace_cache.store")
+
+
+def load_cached_trace_stream(
+    name: str,
+    scale: int,
+    max_instructions: int | None,
+    source_text: str,
+    backend: str = "interp",
+):
+    """The cached trace as a chunk stream, or None on a miss.
+
+    v3 entries come back as a :class:`~repro.vm.tracestream.
+    FileTraceStream` — chunks decode on demand with O(chunk) memory,
+    the "zero-copy" cache-hit path.  Legacy v2 entries are loaded and
+    wrapped (they were materialized on disk anyway).  Corrupt entries
+    of either format are a miss, after which the caller re-executes
+    and the store path atomically rewrites the entry.
+    """
+    if not cache_enabled():
+        return None
+    path = trace_path(name, scale, max_instructions, source_text, backend)
+    if not path.is_file():
+        incr("trace_cache.miss")
+        return None
+    from repro.vm.tracestream import ColumnarChunkStream, FileTraceStream
+
+    try:
+        with open(path, "rb") as fh:
+            prefix = fh.read(len(MAGIC_V3))
+        if prefix == MAGIC_V3:
+            stream = FileTraceStream(path)
+        else:
+            trace = load_trace(path)
+            if not isinstance(trace, ColumnarTrace):
+                incr("trace_cache.miss")
+                return None
+            stream = ColumnarChunkStream(trace)
+    except (TraceFileError, OSError) as exc:
+        _log.warning("corrupt trace cache entry %s (%s); treating as a miss",
+                     path, exc)
+        incr("trace_cache.corrupt")
+        incr("trace_cache.miss")
+        return None
+    incr("trace_cache.hit")
+    return stream
+
+
+def store_cached_trace_stream(
+    name: str,
+    scale: int,
+    max_instructions: int | None,
+    source_text: str,
+    stream,
+    backend: str = "interp",
+) -> int:
+    """Drain a chunk stream into an atomically-written v3 cache entry.
+
+    Returns the number of instructions written (0 with the cache
+    disabled, in which case the stream is left undrained).
+    """
+    if not cache_enabled():
+        return 0
+    from repro.vm.tracestream import write_stream
+
+    path = trace_path(name, scale, max_instructions, source_text, backend)
+    written = 0
+
+    def write(tmp: pathlib.Path) -> None:
+        nonlocal written
+        written = write_stream(stream, tmp)
+
+    _atomic_write(path, write)
+    incr("trace_cache.store")
+    return written
 
 
 # ----------------------------------------------------------------------
@@ -280,8 +362,44 @@ def store_cached_profile(name: str, config_key: tuple, profile: Any) -> None:
 # maintenance
 # ----------------------------------------------------------------------
 
-def cache_info() -> dict[str, Any]:
-    """Entry counts and byte totals per layer, for ``repro cache info``."""
+def _trace_entry_info(path: pathlib.Path) -> dict[str, Any]:
+    """Per-entry stats for one cached trace file.
+
+    Format version is sniffed from the leading bytes; v3 entries add
+    instruction counts and compression stats read from the footer
+    alone (no chunk decoding).  Unreadable entries report
+    ``format="corrupt"`` rather than raising — info is a diagnostic
+    command and must work on a damaged cache.
+    """
+    entry: dict[str, Any] = {
+        "file": path.name,
+        "bytes": path.stat().st_size,
+        "format": "unknown",
+        "instructions": None,
+        "compression_ratio": None,
+    }
+    try:
+        with open(path, "rb") as fh:
+            prefix = fh.read(len(MAGIC_V3))
+        if prefix == MAGIC_V3:
+            info = trace_v3_info(path)
+            entry["format"] = "v3"
+            entry["instructions"] = info["instructions"]
+            entry["compression_ratio"] = info["compression_ratio"]
+        elif prefix == MAGIC_V2:
+            entry["format"] = "v2"
+    except (TraceFileError, OSError):
+        entry["format"] = "corrupt"
+    return entry
+
+
+def cache_info(*, per_entry: bool = False) -> dict[str, Any]:
+    """Entry counts and byte totals per layer, for ``repro cache info``.
+
+    With ``per_entry=True``, adds a ``trace_entries`` list describing
+    every cached trace: format version (v2/v3), on-disk size, and —
+    for v3 — instruction count and compression ratio.
+    """
     root = cache_dir()
     info: dict[str, Any] = {
         "dir": str(root),
@@ -305,6 +423,14 @@ def cache_info() -> dict[str, Any]:
             if entry.is_file() and not entry.name.endswith(".tmp"):
                 info[count_key] += 1
                 info[bytes_key] += entry.stat().st_size
+    if per_entry:
+        trace_dir = root / "traces"
+        entries = []
+        if trace_dir.is_dir():
+            for entry in sorted(trace_dir.iterdir()):
+                if entry.is_file() and not entry.name.endswith(".tmp"):
+                    entries.append(_trace_entry_info(entry))
+        info["trace_entries"] = entries
     return info
 
 

@@ -2,7 +2,7 @@
 
 Dynamic traces are expensive to regenerate for big budgets, and
 shipping them between machines (or caching them between experiment
-runs) wants a stable on-disk format.  Two formats coexist:
+runs) wants a stable on-disk format.  Three formats coexist:
 
 - **v1** (default): line-oriented JSON — line 1 is a header object
   (format tag, program name, flags, count) followed by one compact
@@ -12,14 +12,20 @@ runs) wants a stable on-disk format.  Two formats coexist:
   diffable.
 - **v2**: a binary magic prefix followed by the pickled
   :class:`~repro.vm.trace.ColumnarTrace` columns.  Roughly an order
-  of magnitude faster to write and read than v1, which is what the
-  persistent trace cache (:mod:`repro.vm.tracecache`) wants.
+  of magnitude faster to write and read than v1.
+- **v3**: the chunked streaming format of :mod:`repro.vm.tracev3` —
+  delta/bitmap/typed-column encoded, per-chunk zlib frames, footer
+  index.  Much smaller on disk, written incrementally during
+  execution, and readable chunk-at-a-time with O(chunk) memory; the
+  persistent trace cache (:mod:`repro.vm.tracecache`) stores v3.
 
 ``load_trace`` sniffs the format from the leading bytes, so callers
-never need to know which one a file uses.  ``.gz`` paths are
-transparently gzip-compressed in both formats.  Round-tripping
-preserves every field bit-for-bit (ints stay ints, floats stay
-floats), which the property tests assert.
+never need to know which one a file uses (v2 files remain readable
+forever).  ``.gz`` paths are transparently gzip-compressed for
+v1/v2; v3 compresses its own chunks, so it rejects ``.gz`` paths
+rather than double-compressing into an unseekable wrapper.
+Round-tripping preserves every field bit-for-bit (ints stay ints,
+floats stay floats), which the property tests assert.
 """
 
 from __future__ import annotations
@@ -32,7 +38,9 @@ from collections.abc import Iterable
 
 from repro.isa.opcodes import Opcode
 from repro.obs import get_logger
+from repro.vm.errors import TraceFileError
 from repro.vm.trace import AnyTrace, ColumnarTrace, DynInst, Trace, as_columnar
+from repro.vm.tracev3 import MAGIC_V3
 
 FORMAT_TAG = "repro-trace-v1"
 
@@ -84,19 +92,25 @@ def _unflatten(flat: list) -> tuple[tuple[int, int | float], ...]:
     return tuple((flat[i], flat[i + 1]) for i in range(0, len(flat), 2))
 
 
-class TraceFileError(ValueError):
-    """Malformed or incompatible trace file."""
-
-
 def save_trace(trace: AnyTrace, path: str | pathlib.Path, *,
                format: str = "v1") -> None:
-    """Write a trace; ``.gz`` suffixes enable compression.
+    """Write a trace; ``.gz`` suffixes enable compression (v1/v2).
 
-    ``format="v2"`` selects the binary columnar layout (fastest;
-    used by the trace cache); the default ``"v1"`` stays the portable
-    JSON-lines format.
+    ``format="v3"`` selects the chunked streaming layout (smallest,
+    seekable; used by the trace cache), ``"v2"`` the pickled columnar
+    layout; the default ``"v1"`` stays the portable JSON-lines format.
     """
     path = pathlib.Path(path)
+    if format == "v3":
+        if path.suffix == ".gz":
+            raise TraceFileError(
+                "v3 traces are already compressed per chunk; "
+                "drop the .gz suffix"
+            )
+        from repro.vm.tracev3 import write_v3
+
+        write_v3(trace, path)
+        return
     if format == "v2":
         with _open_binary(path, "wb") as bfh:
             bfh.write(MAGIC_V2)
@@ -135,7 +149,20 @@ def load_trace(path: str | pathlib.Path) -> AnyTrace:
     """
     path = pathlib.Path(path)
     with _open_binary(path, "rb") as bfh:
-        prefix = bfh.read(len(MAGIC_V2))
+        try:
+            prefix = bfh.read(len(MAGIC_V2))
+        except OSError as exc:
+            raise TraceFileError(f"{path}: unreadable: {exc}") from exc
+        if prefix == MAGIC_V3:
+            if path.suffix == ".gz":
+                raise TraceFileError(
+                    f"{path}: gzip-wrapped v3 traces are not seekable; "
+                    "store v3 files uncompressed"
+                )
+            from repro.vm.tracev3 import TraceReader
+
+            with TraceReader(path) as reader:
+                return reader.materialize()
         if prefix == MAGIC_V2:
             try:
                 trace = pickle.load(bfh)
@@ -146,7 +173,12 @@ def load_trace(path: str | pathlib.Path) -> AnyTrace:
                 raise TraceFileError(f"{path}: v2 payload is not a trace")
             return trace
     with _open(path, "r") as fh:
-        header_line = fh.readline()
+        try:
+            header_line = fh.readline()
+        except (UnicodeDecodeError, OSError) as exc:
+            # binary garbage (e.g. a bit-flipped v2/v3 magic) is not a
+            # JSON-lines trace; surface the typed error
+            raise TraceFileError(f"{path}: not a trace file: {exc}") from exc
         if not header_line:
             raise TraceFileError(f"{path}: empty trace file")
         try:
@@ -156,7 +188,15 @@ def load_trace(path: str | pathlib.Path) -> AnyTrace:
         if not isinstance(header, dict) or header.get("format") != FORMAT_TAG:
             raise TraceFileError(f"{path}: not a {FORMAT_TAG} file")
         instructions = []
-        for lineno, line in enumerate(fh, start=2):
+        records = enumerate(fh, start=2)
+        while True:
+            try:
+                lineno, line = next(records)
+            except StopIteration:
+                break
+            except (UnicodeDecodeError, OSError) as exc:
+                raise TraceFileError(
+                    f"{path}: undecodable record data: {exc}") from exc
             if not line.strip():
                 continue
             try:
@@ -184,3 +224,41 @@ def load_trace(path: str | pathlib.Path) -> AnyTrace:
         halted=bool(header.get("halted", False)),
         truncated=bool(header.get("truncated", False)),
     )
+
+
+def trace_file_info(path: str | pathlib.Path) -> dict:
+    """Structural stats of any trace file (``repro trace info``).
+
+    v3 files report chunk/encoding stats from the footer alone; v1/v2
+    files are loaded to count instructions (they are materialized
+    formats, so reading them costs what using them costs).
+    """
+    path = pathlib.Path(path)
+    file_bytes = path.stat().st_size
+    with _open_binary(path, "rb") as bfh:
+        try:
+            prefix = bfh.read(len(MAGIC_V2))
+        except OSError as exc:
+            raise TraceFileError(f"{path}: unreadable: {exc}") from exc
+    if prefix == MAGIC_V3:
+        from repro.vm.tracev3 import trace_v3_info
+
+        return trace_v3_info(path)
+    trace = load_trace(path)
+    version = "v2" if prefix == MAGIC_V2 else "v1"
+    count = len(trace)
+    return {
+        "format": version,
+        "path": str(path),
+        "program": trace.program_name,
+        "halted": trace.halted,
+        "truncated": trace.truncated,
+        "instructions": count,
+        "chunk_count": None,
+        "chunk_size": None,
+        "file_bytes": file_bytes,
+        "encoded_bytes": None,
+        "compressed_bytes": None,
+        "compression_ratio": None,
+        "bytes_per_instruction": file_bytes / count if count else 0.0,
+    }

@@ -123,3 +123,59 @@ def run_workload(
             name, scale, max_instructions, source, trace, resolved
         )
     return trace
+
+
+def stream_workload(
+    name: str,
+    *,
+    scale: int = 1,
+    max_instructions: int | None = 60_000,
+    use_cache: bool = True,
+    backend: str | None = None,
+    chunk_size: int | None = None,
+):
+    """Like :func:`run_workload`, but returns a **chunk stream** — the
+    trace is never held whole in memory.
+
+    Cache hits stream straight out of the v3 entry
+    (:class:`~repro.vm.tracestream.FileTraceStream`, O(chunk) decode).
+    Misses with the cache enabled execute the kernel *through* an
+    incremental v3 writer — the columns go to disk segment by segment
+    — and then stream back from the fresh entry.  With the cache off,
+    an :class:`~repro.vm.tracestream.ExecutionChunkStream` re-executes
+    the (deterministic) kernel on every drain instead.
+    """
+    from repro.vm.tracestream import DEFAULT_CHUNK_SIZE, ExecutionChunkStream
+
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    resolved = backends.resolve_backend(backend)
+    workload = get_workload(name)
+    source = workload.source(scale)
+    if use_cache:
+        cached = tracecache.load_cached_trace_stream(
+            name, scale, max_instructions, source, resolved
+        )
+        if cached is not None:
+            return cached
+
+    def factory():
+        return backends.create_machine(assemble(source, name=name), resolved)
+
+    exec_stream = ExecutionChunkStream(
+        factory,
+        program_name=name,
+        max_instructions=max_instructions,
+        chunk_size=chunk_size,
+    )
+    if use_cache:
+        written = tracecache.store_cached_trace_stream(
+            name, scale, max_instructions, source, exec_stream, resolved
+        )
+        if written:
+            cached = tracecache.load_cached_trace_stream(
+                name, scale, max_instructions, source, resolved
+            )
+            if cached is not None:
+                return cached
+    return exec_stream

@@ -1,0 +1,321 @@
+"""The streaming pipeline's bit-identity contract.
+
+Every consumer of a chunk stream — the streaming dataflow engine, the
+RTM simulator, the ILR/distance/block/prediction baselines, and the
+profile runner — must produce numbers *bit-identical* to its
+materialized counterpart, at any chunk size.  The beyond-RAM test then
+proves the point of it all: under an address-space limit where the
+materialized pipeline dies of MemoryError, the streaming pipeline
+completes and still matches.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.workloads  # registers the kernels
+from repro.baselines.block import basic_block_spans
+from repro.baselines.ilr import instruction_reusability, reusability_by_class
+from repro.baselines.prediction import (
+    LastValuePredictor,
+    StridePredictor,
+    value_predictability,
+)
+from repro.baselines.reuse_distance import signature_reuse_distances
+from repro.core.rtm.collector import FixedLengthHeuristic, ILRHeuristic
+from repro.core.rtm.memory import RTM_PRESETS
+from repro.core.rtm.simulator import FiniteReuseSimulator
+from repro.core.traces import maximal_reusable_spans
+from repro.dataflow.model import FusedDataflowEngine, Scenario
+from repro.dataflow.streaming import StreamingDataflowEngine
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import run_profile, run_profile_streaming
+from repro.vm.tracestream import as_chunk_stream
+from repro.workloads.base import all_workloads, run_workload, stream_workload
+
+KERNELS = [w.name for w in all_workloads()]
+
+SCENARIOS = [
+    Scenario("base", window_size=None),
+    Scenario("base", window_size=256),
+    Scenario("base", window_size=7),
+    Scenario("ilr", window_size=None, latency=1.0),
+    Scenario("ilr", window_size=256, latency=2.0),
+    Scenario("tlr", window_size=None, latency=1.0),
+    Scenario("tlr", window_size=256, latency=1.0),
+    Scenario("tlr", window_size=7, latency=3.0),
+    Scenario("tlr", window_size=256, k=1 / 8),
+    Scenario("tlr", window_size=256, latency=1.0, fetch_free=True),
+]
+
+
+def fused_results(trace):
+    reuse = instruction_reusability(trace)
+    spans = maximal_reusable_spans(trace, reuse.flags)
+    engine = FusedDataflowEngine(trace, flags=reuse.flags, spans=spans)
+    return engine.analyze_all(SCENARIOS), reuse, spans
+
+
+class TestStreamingEngine:
+    @pytest.mark.parametrize("chunk_size", [7, 997, 65536])
+    def test_bit_identical_to_fused(self, chunk_size):
+        trace = run_workload("compress", max_instructions=4_000)
+        expected, reuse, spans = fused_results(trace)
+        engine = StreamingDataflowEngine(trace, chunk_size=chunk_size)
+        got = engine.analyze_all(SCENARIOS)
+        assert got == expected
+        assert engine.n == len(trace)
+        assert engine.reuse.reusable_count == reuse.reusable_count
+        assert engine.reuse.percent_reusable == reuse.percent_reusable
+        assert engine.span_count == len(spans)
+
+    def test_all_kernels_one_chunk_size(self):
+        for name in KERNELS:
+            trace = run_workload(name, max_instructions=2_000)
+            expected, _, _ = fused_results(trace)
+            got = StreamingDataflowEngine(
+                trace, chunk_size=311).analyze_all(SCENARIOS)
+            assert got == expected, name
+
+    def test_io_stats_match(self):
+        from repro.core.stats import trace_io_stats
+
+        trace = run_workload("li", max_instructions=3_000)
+        reuse = instruction_reusability(trace)
+        spans = maximal_reusable_spans(trace, reuse.flags)
+        engine = StreamingDataflowEngine(trace, chunk_size=100)
+        engine.analyze_all([Scenario("base", window_size=None)])
+        assert engine.io_stats == trace_io_stats(spans)
+
+
+class TestStreamingConsumers:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        name = "compress"
+        trace = run_workload(name, max_instructions=3_000)
+        return name, trace
+
+    def stream(self, trace, chunk_size=257):
+        return as_chunk_stream(trace, chunk_size=chunk_size)
+
+    def test_reusability(self, kernel):
+        _, trace = kernel
+        expected = instruction_reusability(trace)
+        got = instruction_reusability(self.stream(trace))
+        assert got.flags == expected.flags
+        assert got.reusable_count == expected.reusable_count
+        assert got.signature_count == expected.signature_count
+        assert got.static_count == expected.static_count
+
+    def test_reusability_by_class(self, kernel):
+        _, trace = kernel
+        flags = instruction_reusability(trace).flags
+        assert (reusability_by_class(self.stream(trace), flags)
+                == reusability_by_class(trace, flags))
+
+    def test_maximal_spans(self, kernel):
+        _, trace = kernel
+        flags = instruction_reusability(trace).flags
+        assert (maximal_reusable_spans(self.stream(trace), flags)
+                == maximal_reusable_spans(trace, flags))
+
+    def test_block_spans(self, kernel):
+        _, trace = kernel
+        flags = instruction_reusability(trace).flags
+        assert (basic_block_spans(self.stream(trace), flags)
+                == basic_block_spans(trace, flags))
+
+    def test_predictors(self, kernel):
+        _, trace = kernel
+        for predictor_cls in (LastValuePredictor, StridePredictor):
+            expected = value_predictability(trace, predictor_cls())
+            got = value_predictability(self.stream(trace), predictor_cls())
+            assert got.flags == expected.flags
+            assert got.predicted_count == expected.predicted_count
+
+    def test_reuse_distance(self, kernel):
+        _, trace = kernel
+        expected = signature_reuse_distances(trace)
+        got = signature_reuse_distances(self.stream(trace))
+        assert got.distances == expected.distances
+        assert got.total_count == expected.total_count
+
+    @pytest.mark.parametrize("reuse_test", ["compare", "invalidate"])
+    def test_rtm_simulator(self, kernel, reuse_test):
+        _, trace = kernel
+        for heuristic in (ILRHeuristic(False), ILRHeuristic(True),
+                          FixedLengthHeuristic(4)):
+            sim = FiniteReuseSimulator(
+                RTM_PRESETS["512"], heuristic, reuse_test=reuse_test)
+            expected = sim.run(trace)
+            sim2 = FiniteReuseSimulator(
+                RTM_PRESETS["512"], heuristic, reuse_test=reuse_test)
+            got = sim2.run(self.stream(trace, chunk_size=101))
+            assert got.reused_instructions == expected.reused_instructions
+            assert got.reuse_events == expected.reuse_events
+            assert got.reused_ranges == expected.reused_ranges
+            assert got.rtm_insertions == expected.rtm_insertions
+            assert got.rtm_occupancy == expected.rtm_occupancy
+            assert got.rtm_invalidations == expected.rtm_invalidations
+            assert (got.collector_limit_terminations
+                    == expected.collector_limit_terminations)
+
+
+class TestStreamingProfiles:
+    CONFIG = ExperimentConfig(
+        max_instructions=1_500,
+        reuse_latencies=(1, 4),
+        proportional_ks=(1 / 8, 1.0),
+        use_cache=False,
+    )
+
+    def test_profiles_bit_identical_all_kernels(self):
+        for name in KERNELS:
+            a = run_profile(name, self.CONFIG)
+            b = run_profile_streaming(name, self.CONFIG)
+            assert dataclasses.asdict(a) == dataclasses.asdict(b), name
+
+    def test_chunk_size_invariance(self):
+        a = run_profile("go", self.CONFIG)
+        for chunk in (1, 7, 4096):
+            cfg = dataclasses.replace(self.CONFIG, stream_chunk_size=chunk)
+            b = run_profile_streaming("go", cfg)
+            assert dataclasses.asdict(a) == dataclasses.asdict(b), chunk
+
+    def test_run_profile_dispatches_on_config(self):
+        cfg = dataclasses.replace(self.CONFIG, streaming=True)
+        a = run_profile("li", cfg)
+        b = run_profile("li", self.CONFIG)
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_run_profile_dispatches_on_env(self, monkeypatch):
+        from repro.exp import runner
+
+        calls = []
+        real = runner.run_profile_streaming
+
+        def spy(name, config=None):
+            calls.append(name)
+            return real(name, config)
+
+        monkeypatch.setattr(runner, "run_profile_streaming", spy)
+        monkeypatch.setenv("REPRO_STREAMING", "1")
+        runner.run_profile("li", self.CONFIG)
+        assert calls == ["li"]
+
+    def test_cache_key_shared_across_pipelines(self):
+        base = self.CONFIG
+        stream_cfg = dataclasses.replace(
+            base, streaming=True, stream_chunk_size=777)
+        assert base.cache_key() == stream_cfg.cache_key()
+
+
+#: Budget/limit pair at which the materialized pipeline exceeds the
+#: address-space limit but the O(chunk) streaming pipeline does not
+#: (measured boundary: materialized needs >192 MiB from ~600k
+#: instructions on, streaming stays under 160 MiB at any budget).
+_BEYOND_RAM_BUDGET = 600_000
+_BEYOND_RAM_LIMIT = 192 * 1024 * 1024
+
+_MAT_SNIPPET = """\
+import resource, sys
+resource.setrlimit(resource.RLIMIT_AS,
+                   ({limit}, {limit}))
+from repro.workloads.base import run_workload
+from repro.baselines.ilr import instruction_reusability
+from repro.core.traces import maximal_reusable_spans
+from repro.dataflow.model import FusedDataflowEngine, Scenario
+t = run_workload("compress", max_instructions={budget},
+                 use_cache=False, backend="fast")
+r = instruction_reusability(t)
+s = maximal_reusable_spans(t, r.flags)
+e = FusedDataflowEngine(t, flags=r.flags, spans=s)
+e.analyze(Scenario("tlr", window_size=256, latency=1.0))
+print("materialized unexpectedly fit")
+"""
+
+_STREAM_SNIPPET = """\
+import json, resource, sys
+resource.setrlimit(resource.RLIMIT_AS,
+                   ({limit}, {limit}))
+from repro.workloads.base import stream_workload
+from repro.dataflow.streaming import StreamingDataflowEngine
+from repro.dataflow.model import Scenario
+from repro.core.rtm.memory import RTM_PRESETS
+from repro.core.rtm.simulator import FiniteReuseSimulator
+from repro.core.rtm.collector import ILRHeuristic
+e = StreamingDataflowEngine(
+    stream_workload("compress", max_instructions={budget}, backend="fast"))
+res = e.analyze_all([Scenario("base", window_size=256),
+                     Scenario("tlr", window_size=256, latency=1.0)])
+sim = FiniteReuseSimulator(RTM_PRESETS["512"], ILRHeuristic(False))
+rtm = sim.run(
+    stream_workload("compress", max_instructions={budget}, backend="fast"))
+print(json.dumps({{
+    "n": e.n,
+    "percent_reusable": e.reuse.percent_reusable,
+    "span_count": e.span_count,
+    "base_cycles": res[0].total_cycles,
+    "tlr_cycles": res[1].total_cycles,
+    "tlr_reused": res[1].reused_count,
+    "rtm_reused": rtm.reused_instructions,
+    "rtm_events": rtm.reuse_events,
+    "rtm_invalidations": rtm.rtm_invalidations,
+}}))
+"""
+
+
+class TestBeyondRAM:
+    """The acceptance run: a trace whose decoded working set exceeds
+    the process address-space limit streams through run -> analyze ->
+    RTM bit-identically, where the materialized path dies."""
+
+    def _run(self, snippet):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        code = snippet.format(limit=_BEYOND_RAM_LIMIT,
+                              budget=_BEYOND_RAM_BUDGET)
+        return subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, text=True, env=env)
+
+    def test_materialized_pipeline_exceeds_limit(self):
+        proc = self._run(_MAT_SNIPPET)
+        assert proc.returncode != 0, (
+            "materialized pipeline fit under the limit; raise the "
+            f"budget:\n{proc.stdout}")
+        assert "MemoryError" in proc.stderr
+
+    def test_streaming_pipeline_completes_and_matches(self):
+        proc = self._run(_STREAM_SNIPPET)
+        assert proc.returncode == 0, proc.stderr
+        got = json.loads(proc.stdout)
+
+        # reference numbers from the materialized pipeline, no limit
+        # (the subprocess populated the trace cache, so this is a
+        # streamed-v3 cache hit, not a re-execution)
+        trace = run_workload("compress",
+                             max_instructions=_BEYOND_RAM_BUDGET,
+                             backend="fast")
+        r = instruction_reusability(trace)
+        s = maximal_reusable_spans(trace, r.flags)
+        engine = FusedDataflowEngine(trace, flags=r.flags, spans=s)
+        base = engine.analyze(Scenario("base", window_size=256))
+        tlr = engine.analyze(Scenario("tlr", window_size=256, latency=1.0))
+        sim = FiniteReuseSimulator(RTM_PRESETS["512"], ILRHeuristic(False))
+        rtm = sim.run(trace)
+
+        assert got["n"] == len(trace)
+        assert got["percent_reusable"] == r.percent_reusable
+        assert got["span_count"] == len(s)
+        assert got["base_cycles"] == base.total_cycles
+        assert got["tlr_cycles"] == tlr.total_cycles
+        assert got["tlr_reused"] == tlr.reused_count
+        assert got["rtm_reused"] == rtm.reused_instructions
+        assert got["rtm_events"] == rtm.reuse_events
+        assert got["rtm_invalidations"] == rtm.rtm_invalidations

@@ -114,7 +114,7 @@ class TestColumnarV2:
     def test_unknown_format_rejected(self, tmp_path):
         _, trace = run_asm("halt")
         with pytest.raises(TraceFileError, match="unknown trace format"):
-            save_trace(trace, tmp_path / "t.bin", format="v3")
+            save_trace(trace, tmp_path / "t.bin", format="v9")
 
     def test_bad_v2_payload(self, tmp_path):
         from repro.vm.tracefile import MAGIC_V2
