@@ -32,13 +32,32 @@ Commands
 ``obs {list,show}``
     Inspect the JSONL run manifests that ``figures`` (and the
     benchmark suite) record under ``<cache_dir>/runs/`` — per-kernel
-    status, timings, retries, cache hit/miss counters.  See
-    :mod:`repro.obs`.
+    status, timings, retries, cache hit/miss counters.  A service
+    sweep's coordinator + worker manifests are merged into one run
+    view, and torn (partially written) lines are reported instead of
+    silently dropped.  See :mod:`repro.obs`.
+``sweep``
+    Run a sweep through the sharded service: enqueue kernel × config
+    shards, spawn N worker processes over the shared cache, and print
+    the per-kernel outcome — bit-identical results to ``figures``'s
+    in-process ``collect_profiles``.  ``--enqueue-only`` just loads
+    the queue (workers started separately drain it).
+``worker``
+    One worker shard: claim/lease/complete loop over the persistent
+    queue, stealing stale leases from crashed workers.  Normally
+    spawned by ``sweep``/``serve``, but first-class for running shards
+    across terminals or hosts sharing one cache directory.
+``serve``
+    Async front end: answers ``/profile`` and ``/figure`` queries from
+    the cache in the hot path (the VM is never touched on a hit) and
+    enqueues misses as shards; ``--workers N`` spawns resident workers
+    to drain them.  See :mod:`repro.exp.service.server`.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.baselines.ilr import ilr_reuse_plan, instruction_reusability
@@ -329,36 +348,54 @@ def _cmd_obs(args) -> int:
 
     if args.action == "list":
         rows = []
-        for path in obs.list_runs():
-            summary = obs.summarize(obs.read_events(path))
+        for run_id, paths in obs.list_run_groups():
+            events, torn = obs.merge_events(paths)
+            summary = obs.summarize(events)
             kernels = summary["kernels"]
             failed = sum(1 for k in kernels.values() if k["status"] == "failed")
             ok = sum(1 for k in kernels.values() if k["status"] == "ok")
             rows.append([
-                summary["run_id"] or path.stem.removeprefix("run-"),
+                summary["run_id"] or run_id,
+                len(paths),
                 ok,
                 failed,
                 len(summary["resumed"]),
                 "-" if summary["seconds"] is None
                 else f"{summary['seconds']:.2f}",
-                "yes" if summary["complete"] else "no (interrupted?)",
+                ("yes" if summary["complete"] else "no (interrupted?)")
+                + (f", {torn} torn line(s)" if torn else ""),
             ])
         if not rows:
             print(f"no run manifests under {obs.runs_dir()}")
             return 0
         print(format_table(
-            ["run", "ok", "failed", "resumed", "seconds", "complete"], rows,
+            ["run", "files", "ok", "failed", "resumed", "seconds",
+             "complete"], rows,
             title=f"Recorded runs ({obs.runs_dir()})",
         ))
         return 0
 
     try:
-        path = obs.find_run(args.run)
+        paths = obs.find_run_paths(args.run)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    summary = obs.summarize(obs.read_events(path))
-    print(f"manifest: {path}")
+    events, torn = obs.merge_events(paths)
+    summary = obs.summarize(events)
+    if len(paths) == 1:
+        print(f"manifest: {paths[0]}")
+    else:
+        print(f"manifests ({len(paths)}, merged):")
+        for path in paths:
+            print(f"  {path}")
+    if torn:
+        print(f"note: skipped {torn} torn line(s) — a writer was killed "
+              "mid-append; every complete event is shown")
+    if summary["workers"]:
+        note = f"workers: {', '.join(summary['workers'])}"
+        if summary["steals"]:
+            note += f" ({summary['steals']} stolen shard(s))"
+        print(note)
     if not summary["complete"]:
         print("note: no run_end event — the run was interrupted")
     kernel_rows = [
@@ -399,6 +436,76 @@ def _cmd_obs(args) -> int:
     if failed:
         print()
         print(f"failed kernels: {', '.join(failed)}")
+    return 0
+
+
+def _print_sweep_outcome(run) -> None:
+    rows = [[p.name, "ok", "resumed" if p.name in run.resumed else "computed"]
+            for p in run]
+    rows += [[f.name, "FAILED", f"{f.kind}: {f.message}"] for f in run.failures]
+    print(format_table(["kernel", "status", "detail"], rows,
+                       title="Service sweep"))
+    if run.manifest_path is not None:
+        print(f"run manifest: {run.manifest_path}", file=sys.stderr)
+
+
+def _cmd_sweep(args) -> int:
+    from repro.exp.service import ShardQueue, enqueue_sweep, run_service_sweep
+
+    config = ExperimentConfig(
+        max_instructions=args.budget, backend=args.backend,
+        streaming=True if args.stream else None,
+    )
+    if args.enqueue_only:
+        plan = enqueue_sweep(config)
+        queue = ShardQueue()
+        print(f"enqueued {len(plan.enqueued)} shard(s), "
+              f"{len(plan.resumed)} already cached; queue: {queue.counts()}")
+        return 0
+    run = run_service_sweep(config, workers=args.workers,
+                            lease_ttl=args.lease_ttl)
+    _print_sweep_outcome(run)
+    return 0 if run.ok else 1
+
+
+def _cmd_worker(args) -> int:
+    from repro.exp.service import run_worker
+    from repro.obs.manifest import RunManifest
+
+    # mark this process as a killable worker shard (fault injection's
+    # ``crash`` mode takes the process down instead of raising)
+    os.environ["REPRO_SERVICE_WORKER"] = "1"
+    manifest = RunManifest(args.run_id, worker=args.worker_id) \
+        if args.run_id else RunManifest(worker=args.worker_id)
+    report = run_worker(
+        args.worker_id,
+        manifest=manifest,
+        exit_when_empty=not args.forever,
+        lease_ttl=args.lease_ttl,
+        poll_interval=args.poll_interval,
+    )
+    print(f"worker {report.worker}: {len(report.completed)} shard(s) "
+          f"completed, {len(report.failed)} failed "
+          f"in {report.seconds:.2f}s")
+    return 0 if not report.failed else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.exp.service.server import serve_forever
+    from repro.exp.service.sweep import spawn_worker_process
+
+    defaults = ExperimentConfig(max_instructions=args.budget,
+                                backend=args.backend)
+    procs = []
+    for k in range(args.workers):
+        procs.append(spawn_worker_process(
+            f"serve-w{k}", f"serve-p{os.getpid()}", exit_when_empty=False,
+        ))
+    try:
+        serve_forever(args.host, args.port, defaults=defaults)
+    finally:
+        for proc in procs:
+            proc.terminate()
     return 0
 
 
@@ -480,6 +587,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("run", nargs="?", default="latest",
                        help="run id (or unique prefix) for 'show'; "
                        "defaults to the most recent run")
+
+    p_sw = sub.add_parser(
+        "sweep", help="run a sweep through the sharded service",
+        parents=[backend_parent],
+    )
+    p_sw.add_argument("--budget", type=int, default=20_000)
+    p_sw.add_argument("--workers", type=int, default=None,
+                      help="worker processes to spawn (default: one per "
+                      "core; 0 = drain inline in this process)")
+    p_sw.add_argument("--enqueue-only", action="store_true",
+                      help="load the queue and exit; separately started "
+                      "workers drain it")
+    p_sw.add_argument("--lease-ttl", type=float, default=600.0,
+                      help="seconds before a live worker's lease may be "
+                      "stolen (dead workers are stolen from immediately)")
+    p_sw.add_argument("--stream", action="store_true",
+                      help="workers profile through the streaming pipeline")
+
+    p_wk = sub.add_parser(
+        "worker", help="run one shard worker over the persistent queue",
+    )
+    p_wk.add_argument("--worker-id", default=f"w{os.getpid()}",
+                      help="name used in leases and manifest events")
+    p_wk.add_argument("--run-id", default=None,
+                      help="sweep run id to attach this worker's manifest to")
+    p_wk.add_argument("--forever", action="store_true",
+                      help="keep polling when the queue is empty (serve "
+                      "mode) instead of exiting")
+    p_wk.add_argument("--lease-ttl", type=float, default=600.0)
+    p_wk.add_argument("--poll-interval", type=float, default=0.2)
+
+    p_srv = sub.add_parser(
+        "serve", help="async cache-backed profile/figure server",
+        parents=[backend_parent],
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8023)
+    p_srv.add_argument("--budget", type=int, default=20_000,
+                       help="default max_instructions for queries that "
+                       "don't pass ?budget=")
+    p_srv.add_argument("--workers", type=int, default=0,
+                       help="resident worker processes draining enqueued "
+                       "misses")
     return parser
 
 
@@ -494,6 +644,9 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "trace": _cmd_trace,
     "obs": _cmd_obs,
+    "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
+    "serve": _cmd_serve,
 }
 
 

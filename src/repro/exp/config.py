@@ -70,6 +70,38 @@ class ExperimentConfig:
     #: tracestream default)
     stream_chunk_size: int | None = None
 
+    def to_dict(self) -> dict:
+        """A JSON-round-trippable dict (tuples become lists).
+
+        The wire format for service shard records: a job file stores
+        the config this way and :meth:`from_dict` reconstructs an
+        equal config (``cache_key()`` included) in the worker.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output (or JSON).
+
+        JSON turns tuples into lists, so sequence fields are coerced
+        back; unknown keys are ignored so a newer writer's record
+        still loads on an older reader.
+        """
+        tuple_fields = {
+            f.name for f in dataclasses.fields(cls)
+            if "tuple" in str(f.type)
+        }
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {}
+        for name, value in data.items():
+            if name not in known:
+                continue
+            if name in tuple_fields and isinstance(value, (list, tuple)):
+                kwargs[name] = tuple(value)
+            else:
+                kwargs[name] = value
+        return cls(**kwargs)
+
     def cache_key(self) -> tuple:
         """Every analysis-relevant config field, as (name, value) pairs.
 

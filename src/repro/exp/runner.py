@@ -372,7 +372,9 @@ def _maybe_inject_fault(name: str) -> None:
     """Honour ``REPRO_FAULT_INJECT`` (testing/CI fault injection).
 
     ``crash`` terminates the worker process abruptly — but only when
-    actually running inside a worker; in the parent (e.g. during the
+    actually running inside a worker (a process-pool child, or a
+    service worker shard, which marks itself with
+    ``REPRO_SERVICE_WORKER``); in the parent (e.g. during the
     sequential fallback) it degrades to an exception so the injection
     can never take the whole run down.
     """
@@ -384,7 +386,11 @@ def _maybe_inject_fault(name: str) -> None:
         if kernel.strip() != name:
             continue
         mode = mode.strip() or "raise"
-        if mode == "crash" and multiprocessing.parent_process() is not None:
+        in_worker = (
+            multiprocessing.parent_process() is not None
+            or os.environ.get("REPRO_SERVICE_WORKER") == "1"
+        )
+        if mode == "crash" and in_worker:
             os._exit(3)
         if mode.startswith("sleep"):
             time.sleep(float(mode[len("sleep"):] or "3600"))

@@ -1,0 +1,198 @@
+"""Sweep coordinator: enqueue shards, spawn workers, assemble results.
+
+``run_service_sweep`` is the service-mode twin of
+:func:`~repro.exp.runner.collect_profiles`: same config in, same
+:class:`~repro.exp.runner.ProfileRun` out (profiles in config order,
+failures and resumed kernels recorded, one merged manifest view) —
+bit-identical results, because both paths compute each profile with
+:func:`~repro.exp.runner.run_profile` under the same content-addressed
+cache key.  The difference is the execution substrate: shards go onto
+the persistent queue and N independent worker *processes* drain it
+through one shared ``.repro-cache/``.
+
+Crash behaviour is belt and braces: a worker that dies mid-shard
+leaves a stale lease that surviving workers steal; if *every* worker
+dies (or ``workers=0``), the coordinator drains the queue inline as
+the degraded mode — mirroring ``collect_profiles``'s broken-pool
+fallback to sequential execution.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import BenchmarkProfile, ProfileFailure, ProfileRun
+from repro.exp.service.queue import DEFAULT_LEASE_TTL, ShardQueue, shard_job_id
+from repro.exp.service.worker import run_worker
+from repro.obs import get_logger
+from repro.obs.manifest import RunManifest
+from repro.vm import tracecache
+
+_log = get_logger("service.sweep")
+
+
+@dataclass(slots=True)
+class SweepPlan:
+    """What ``enqueue_sweep`` did: shards queued vs. already satisfied."""
+
+    enqueued: list[str] = field(default_factory=list)
+    resumed: list[str] = field(default_factory=list)
+    #: job id per enqueued workload
+    jobs: dict[str, str] = field(default_factory=dict)
+
+
+def enqueue_sweep(
+    config: ExperimentConfig,
+    *,
+    queue: ShardQueue | None = None,
+    retry_failed: bool = True,
+) -> SweepPlan:
+    """Enqueue one shard per configured kernel that the cache misses.
+
+    Kernels whose profile is already cached are *resumed* (checkpoint
+    semantics identical to ``collect_profiles``), everything else
+    becomes a pending shard.  The service requires the shared cache —
+    it is the result channel — so a cache-disabled config is an error.
+    """
+    if not config.use_cache or not tracecache.cache_enabled():
+        raise ValueError(
+            "the sweep service requires the shared profile cache "
+            "(use_cache=True and REPRO_TRACE_CACHE unset)"
+        )
+    queue = queue if queue is not None else ShardQueue()
+    plan = SweepPlan()
+    for name in config.workloads:
+        cached = tracecache.load_cached_profile(name, config.cache_key())
+        if isinstance(cached, BenchmarkProfile):
+            plan.resumed.append(name)
+            continue
+        job_id, _state = queue.enqueue(name, config,
+                                       retry_failed=retry_failed)
+        plan.enqueued.append(name)
+        plan.jobs[name] = job_id
+    return plan
+
+
+def spawn_worker_process(
+    worker: str,
+    run_id: str,
+    *,
+    exit_when_empty: bool = True,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> subprocess.Popen:
+    """Start one ``repro worker`` shard as a child process.
+
+    The child inherits the environment (``REPRO_CACHE_DIR`` above all,
+    which is the whole coordination substrate) and marks itself with
+    ``REPRO_SERVICE_WORKER=1`` so fault injection treats it as a
+    killable worker, not a parent.
+    """
+    cmd = [
+        sys.executable, "-m", "repro", "worker",
+        "--worker-id", worker, "--run-id", run_id,
+        "--lease-ttl", str(lease_ttl),
+    ]
+    if not exit_when_empty:
+        cmd.append("--forever")
+    return subprocess.Popen(cmd, env=os.environ.copy())
+
+
+def run_service_sweep(
+    config: ExperimentConfig | None = None,
+    *,
+    workers: int | None = None,
+    run_id: str | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    manifest: RunManifest | bool | None = None,
+) -> ProfileRun:
+    """A full sweep through the shard queue; returns a ProfileRun.
+
+    ``workers`` counts the worker *processes* spawned (default: the
+    runner's usual one-per-core heuristic, capped by shard count);
+    ``workers=0`` keeps everything in the coordinator, which then
+    drains the queue inline.  After the workers exit the coordinator
+    always runs one inline drain pass — that is the degraded mode that
+    finishes the sweep even if every worker crashed.
+    """
+    if config is None:
+        config = ExperimentConfig()
+    from repro.util.parallel import default_worker_count
+
+    t0 = time.monotonic()
+    wants_manifest = manifest is not False
+    if isinstance(manifest, RunManifest):
+        coordinator = manifest
+    elif wants_manifest:
+        coordinator = RunManifest(run_id)
+    else:
+        coordinator = None
+    rid = coordinator.run_id if coordinator is not None else (run_id or "adhoc")
+
+    queue = ShardQueue()
+    names = list(config.workloads)
+    if coordinator is not None:
+        coordinator.start(tuple(names), config.to_dict())
+    plan = enqueue_sweep(config, queue=queue)
+    if coordinator is not None:
+        coordinator.emit(
+            "sweep_enqueued", enqueued=plan.enqueued, resumed=plan.resumed,
+        )
+
+    procs: list[subprocess.Popen] = []
+    if plan.enqueued:
+        if workers is None:
+            workers = default_worker_count(len(plan.enqueued))
+        for k in range(workers):
+            procs.append(spawn_worker_process(f"w{k}", rid,
+                                              lease_ttl=lease_ttl))
+    crashed = 0
+    for proc in procs:
+        if proc.wait() != 0:
+            crashed += 1
+    if crashed and coordinator is not None:
+        coordinator.emit("worker_crash", crashed=crashed,
+                         in_flight=[j.workload for j in queue.jobs("leased")])
+
+    # degraded mode: whatever the workers left behind (crashed leases,
+    # never-claimed shards, the workers=0 case) is drained inline
+    if queue.outstanding():
+        if procs:
+            _log.warning(
+                "%d shard(s) still outstanding after the workers exited; "
+                "draining inline in the coordinator", queue.outstanding(),
+            )
+        run_worker("coordinator", queue=queue, manifest=coordinator,
+                   exit_when_empty=True, lease_ttl=lease_ttl)
+
+    profiles: list[BenchmarkProfile] = []
+    failures: list[ProfileFailure] = []
+    for name in names:
+        cached = tracecache.load_cached_profile(name, config.cache_key())
+        if isinstance(cached, BenchmarkProfile):
+            profiles.append(cached)
+            continue
+        job = queue.find(shard_job_id(name, config))
+        message = job.error if job is not None and job.error else "shard lost"
+        kind, _, detail = message.partition(": ")
+        failures.append(ProfileFailure(
+            name=name, kind=kind or "Error", message=detail or message,
+            attempts=job.attempts if job is not None else 0,
+        ))
+    if coordinator is not None:
+        coordinator.end(
+            ok=[p.name for p in profiles],
+            failed=[f.name for f in failures],
+            resumed=plan.resumed,
+            seconds=round(time.monotonic() - t0, 6),
+        )
+    return ProfileRun(
+        profiles,
+        failures=failures,
+        resumed=plan.resumed,
+        manifest_path=coordinator.path if coordinator is not None else None,
+    )

@@ -26,8 +26,12 @@ import os
 from repro.obs.manifest import (
     RunManifest,
     find_run,
+    find_run_paths,
+    list_run_groups,
     list_runs,
+    merge_events,
     read_events,
+    read_manifest,
     runs_dir,
     summarize,
 )
@@ -38,11 +42,15 @@ __all__ = [
     "Telemetry",
     "current",
     "find_run",
+    "find_run_paths",
     "get_logger",
     "incr",
+    "list_run_groups",
     "list_runs",
+    "merge_events",
     "profiling_enabled",
     "read_events",
+    "read_manifest",
     "runs_dir",
     "scope",
     "summarize",

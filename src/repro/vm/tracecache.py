@@ -32,9 +32,31 @@ Knobs
 ``REPRO_TRACE_CACHE=0``
     Kill switch: disables both lookups and stores.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or
-concurrent run can never leave a truncated entry behind; unreadable or
-corrupt entries are treated as misses.
+Concurrency
+-----------
+
+The cache is a *shared artifact store*: N sweep workers (and the
+``repro serve`` front end) read and write one ``.repro-cache/`` at
+once, across processes.  The discipline, in lock order:
+
+1. Entry writes are atomic (pid-tagged temp file + ``os.replace``) so
+   readers only ever observe a complete old or complete new entry;
+   unreadable or corrupt entries are treated as misses and atomically
+   rewritten by the recompute.
+2. Read-modify-write paths take a per-entry advisory ``flock`` (a
+   zero-byte sibling under ``locks/``), so two writers of the same key
+   serialize instead of double-writing; writers of different keys
+   never contend.
+3. The profile index (``index/profiles.json``) is updated under its
+   own lock with a compare-and-swap discipline: the current index is
+   re-read *inside* the lock, merged, and atomically replaced — a
+   pre-lock read is never trusted, so concurrent writers can not drop
+   each other's updates (the classic last-writer-wins race).
+   Lock order is entry lock → index lock, never the reverse.
+4. A writer killed between ``mkstemp`` and ``os.replace`` leaves an
+   orphan temp file; opening the cache reaps temp files whose creator
+   pid is dead (immediately) or unknown and old (after an hour) —
+   see :func:`repro.util.fslock.reap_stale_tmps`.
 """
 
 from __future__ import annotations
@@ -42,14 +64,15 @@ from __future__ import annotations
 import hashlib
 import importlib
 import inspect
+import json
 import os
 import pathlib
 import pickle
-import tempfile
 from functools import lru_cache
 from typing import Any
 
 from repro.obs import get_logger, incr
+from repro.util import fslock
 from repro.vm.trace import ColumnarTrace
 from repro.vm.tracefile import (
     MAGIC_V2,
@@ -140,19 +163,113 @@ def _budget_tag(max_instructions: int | None) -> str:
 
 
 def _atomic_write(path: pathlib.Path, write_fn) -> None:
-    """Write via ``write_fn(tmp_path)`` then atomically rename."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
-    )
-    os.close(fd)
-    tmp = pathlib.Path(tmp_name)
+    """Write via ``write_fn(tmp_path)`` then atomically rename.
+
+    The temp file is pid-tagged (see :func:`repro.util.fslock.
+    make_tmp`) so a writer killed between the two steps leaves an
+    orphan that :func:`reap_orphans` can attribute to a dead process.
+    """
+    tmp = fslock.make_tmp(path.parent, path.name)
     try:
         write_fn(tmp)
         os.replace(tmp, path)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+
+
+def entry_lock_path(path: pathlib.Path) -> pathlib.Path:
+    """The advisory lock file guarding one cache entry's writes."""
+    return cache_dir() / "locks" / f"{path.name}.lock"
+
+
+def _entry_lock(path: pathlib.Path):
+    """Per-entry exclusive lock context (cheap: keyed by file name)."""
+    return fslock.file_lock(entry_lock_path(path))
+
+
+#: Cache roots already reaped by this process (reap once per root).
+_reaped_roots: set[str] = set()
+
+
+def reap_orphans(*, max_age: float = fslock.DEFAULT_TMP_MAX_AGE) -> int:
+    """Reap orphaned ``*.tmp`` files across every cache layer.
+
+    A worker killed between ``mkstemp`` and ``os.replace`` would
+    otherwise leak its temp file forever.  Temp files whose embedded
+    creator pid is dead go immediately; untagged ones only after
+    ``max_age`` seconds.  Returns the number of files removed.
+    """
+    root = cache_dir()
+    removed = 0
+    for sub in ("traces", "profiles", "index"):
+        removed += fslock.reap_stale_tmps(root / sub, max_age=max_age)
+    if removed:
+        incr("cache.orphans_reaped", removed)
+    return removed
+
+
+def _open_store() -> None:
+    """Once per process and cache root: crash-orphan cleanup."""
+    root = str(cache_dir())
+    if root in _reaped_roots:
+        return
+    _reaped_roots.add(root)
+    reap_orphans()
+
+
+# ----------------------------------------------------------------------
+# profile index
+# ----------------------------------------------------------------------
+
+def _index_path() -> pathlib.Path:
+    return cache_dir() / "index" / "profiles.json"
+
+
+def _index_lock():
+    return fslock.file_lock(cache_dir() / "locks" / "profile-index.lock")
+
+
+def _read_index(path: pathlib.Path) -> dict[str, Any]:
+    """The index mapping (entry file name -> metadata); {} on damage."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    profiles = data.get("profiles") if isinstance(data, dict) else None
+    return profiles if isinstance(profiles, dict) else {}
+
+
+def load_profile_index() -> dict[str, Any]:
+    """A point-in-time snapshot of the profile index (read-only)."""
+    return _read_index(_index_path())
+
+
+def _index_record(fname: str, meta: dict[str, Any]) -> None:
+    """Merge one entry into the index, safely against racing writers.
+
+    The compare-and-swap discipline: the current index is re-read
+    *under the index lock* (never reused from before the lock), the
+    entry is merged in, and the result replaces the file atomically.
+    Two processes storing different keys concurrently therefore both
+    land in the index — an unlocked read-modify-write here was the
+    last-writer-wins race that silently dropped one of them.
+    """
+    path = _index_path()
+    with _index_lock():
+        profiles = _read_index(path)
+        profiles[fname] = meta
+        _atomic_write(path, lambda tmp: tmp.write_text(
+            json.dumps({"schema": 1, "profiles": profiles},
+                       sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        ))
+
+
+def _index_clear() -> None:
+    with _index_lock():
+        _index_path().unlink(missing_ok=True)
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +311,7 @@ def load_cached_trace(
     """The cached trace, or None on a miss (including corrupt files)."""
     if not cache_enabled():
         return None
+    _open_store()
     path = trace_path(name, scale, max_instructions, source_text, backend)
     if not path.is_file():
         incr("trace_cache.miss")
@@ -221,11 +339,18 @@ def store_cached_trace(
     trace: ColumnarTrace,
     backend: str = "interp",
 ) -> None:
-    """Persist a trace (no-op when the cache is disabled)."""
+    """Persist a trace (no-op when the cache is disabled).
+
+    The per-entry lock serializes concurrent writers of the same key
+    (the content is identical by construction, so the second writer
+    merely rewrites the same bytes) without slowing unrelated keys.
+    """
     if not cache_enabled():
         return
+    _open_store()
     path = trace_path(name, scale, max_instructions, source_text, backend)
-    _atomic_write(path, lambda tmp: save_trace(trace, tmp, format="v3"))
+    with _entry_lock(path):
+        _atomic_write(path, lambda tmp: save_trace(trace, tmp, format="v3"))
     incr("trace_cache.store")
 
 
@@ -247,6 +372,7 @@ def load_cached_trace_stream(
     """
     if not cache_enabled():
         return None
+    _open_store()
     path = trace_path(name, scale, max_instructions, source_text, backend)
     if not path.is_file():
         incr("trace_cache.miss")
@@ -291,6 +417,7 @@ def store_cached_trace_stream(
         return 0
     from repro.vm.tracestream import write_stream
 
+    _open_store()
     path = trace_path(name, scale, max_instructions, source_text, backend)
     written = 0
 
@@ -298,7 +425,8 @@ def store_cached_trace_stream(
         nonlocal written
         written = write_stream(stream, tmp)
 
-    _atomic_write(path, write)
+    with _entry_lock(path):
+        _atomic_write(path, write)
     incr("trace_cache.store")
     return written
 
@@ -326,6 +454,7 @@ def load_cached_profile(name: str, config_key: tuple) -> Any | None:
     """The cached profile object, or None on a miss."""
     if not cache_enabled():
         return None
+    _open_store()
     path = profile_path(name, config_key)
     if not path.is_file():
         incr("profile_cache.miss")
@@ -345,16 +474,29 @@ def load_cached_profile(name: str, config_key: tuple) -> Any | None:
 
 
 def store_cached_profile(name: str, config_key: tuple, profile: Any) -> None:
-    """Persist a profile (no-op when the cache is disabled)."""
+    """Persist a profile (no-op when the cache is disabled).
+
+    Entry bytes and the index record are written as one per-entry
+    locked transaction (lock order: entry lock, then index lock inside
+    :func:`_index_record`), so a reader of the index never sees an
+    entry the store lost, and two same-key writers serialize.
+    """
     if not cache_enabled():
         return
+    _open_store()
     path = profile_path(name, config_key)
 
     def write(tmp: pathlib.Path) -> None:
         with open(tmp, "wb") as fh:
             pickle.dump(profile, fh, protocol=pickle.HIGHEST_PROTOCOL)
 
-    _atomic_write(path, write)
+    with _entry_lock(path):
+        _atomic_write(path, write)
+        _index_record(path.name, {
+            "workload": name,
+            "bytes": path.stat().st_size,
+            "pid": os.getpid(),
+        })
     incr("profile_cache.store")
 
 
@@ -400,10 +542,12 @@ def cache_info(*, per_entry: bool = False) -> dict[str, Any]:
     every cached trace: format version (v2/v3), on-disk size, and —
     for v3 — instruction count and compression ratio.
     """
+    _open_store()
     root = cache_dir()
     info: dict[str, Any] = {
         "dir": str(root),
         "enabled": cache_enabled(),
+        "profile_index": len(load_profile_index()),
         "traces": 0,
         "trace_bytes": 0,
         "profiles": 0,
@@ -455,4 +599,20 @@ def clear_cache() -> int:
             directory.rmdir()
         except OSError:
             pass
+    # lock files and the profile index are bookkeeping, not entries:
+    # wipe them without adding to the removal count
+    _index_clear()
+    locks = root / "locks"
+    if locks.is_dir():
+        for entry in locks.iterdir():
+            if entry.is_file():
+                entry.unlink(missing_ok=True)
+        try:
+            locks.rmdir()
+        except OSError:
+            pass
+    try:
+        (root / "index").rmdir()
+    except OSError:
+        pass
     return removed

@@ -141,6 +141,108 @@ class TestRunManifest:
             obs.find_run("latest")
 
 
+class TestManifestConcurrency:
+    def test_torn_final_line_counted(self, cache_dir):
+        manifest = RunManifest()
+        manifest.emit("run_start", run_id=manifest.run_id)
+        manifest.emit("profile_done", name="li")
+        raw = manifest.path.read_bytes()
+        manifest.path.write_bytes(raw[: len(raw) - 20])
+        events, torn = obs.read_manifest(manifest.path)
+        assert [e["event"] for e in events] == ["run_start"]
+        assert torn == 1
+
+    def test_concurrent_appends_never_tear(self, cache_dir):
+        """4 processes × 50 O_APPEND events into ONE file: all parse."""
+        import os
+        import subprocess
+        import sys
+
+        manifest = RunManifest(run_id="shared")
+        manifest.emit("run_start", run_id="shared")
+        script = (
+            "from repro.obs.manifest import RunManifest\n"
+            "import sys\n"
+            "m = RunManifest(run_id='shared')\n"
+            "for i in range(50):\n"
+            "    m.emit('tick', writer=sys.argv[1], i=i,\n"
+            "           pad='x' * 200)\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, f"p{k}"],
+                env=os.environ.copy(),
+            )
+            for k in range(4)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+        events, torn = obs.read_manifest(manifest.path)
+        assert torn == 0
+        ticks = [e for e in events if e["event"] == "tick"]
+        assert len(ticks) == 200
+        # every writer's every event landed intact, in order per writer
+        for k in range(4):
+            own = [e["i"] for e in ticks if e["writer"] == f"p{k}"]
+            assert own == list(range(50))
+
+
+class TestManifestFamilies:
+    def _family(self):
+        coordinator = RunManifest(run_id="fam1")
+        coordinator.start(("li",), {})
+        w0 = RunManifest(run_id="fam1", worker="w0")
+        w0.emit("shard_claim", name="li")
+        w1 = RunManifest(run_id="fam1", worker="w1")
+        w1.emit("shard_steal", name="li", attempt=2)
+        w1.emit("shard_done", name="li")
+        coordinator.end(ok=["li"], failed=[], resumed=[], seconds=0.1)
+        return coordinator, w0, w1
+
+    def test_group_key_strips_worker_tag(self, cache_dir):
+        coordinator, w0, _ = self._family()
+        assert obs.manifest.group_key(coordinator.path) == "fam1"
+        assert obs.manifest.group_key(w0.path) == "fam1"
+
+    def test_list_run_groups_coordinator_first(self, cache_dir):
+        self._family()
+        RunManifest(run_id="solo").emit("run_start")
+        groups = dict(obs.list_run_groups())
+        assert set(groups) == {"fam1", "solo"}
+        fam = groups["fam1"]
+        assert len(fam) == 3
+        assert fam[0].name == "run-fam1.jsonl"
+        assert [p.name for p in fam[1:]] == [
+            "run-fam1-ww0.jsonl", "run-fam1-ww1.jsonl",
+        ]
+
+    def test_find_run_paths_resolves_family(self, cache_dir):
+        self._family()
+        paths = obs.find_run_paths("fam1")
+        assert len(paths) == 3
+        assert obs.find_run_paths("latest") == paths
+
+    def test_merge_events_time_ordered_and_tagged(self, cache_dir):
+        self._family()
+        events, torn = obs.merge_events(obs.find_run_paths("fam1"))
+        assert torn == 0
+        assert events[0]["event"] == "run_start"
+        assert events[-1]["event"] == "run_end"
+        times = [e["t"] for e in events]
+        assert times == sorted(times)
+        workers = {e.get("worker") for e in events}
+        assert {"w0", "w1"} <= workers
+
+    def test_summarize_merged_family(self, cache_dir):
+        self._family()
+        events, _ = obs.merge_events(obs.find_run_paths("fam1"))
+        summary = obs.summarize(events)
+        assert summary["run_id"] == "fam1"
+        assert summary["workers"] == ["w0", "w1"]
+        assert summary["steals"] == 1
+        assert summary["complete"] is True
+
+
 class TestSummarize:
     def _events(self):
         return [
