@@ -52,6 +52,20 @@ Commands
     the cache in the hot path (the VM is never touched on a hit) and
     enqueues misses as shards; ``--workers N`` spawns resident workers
     to drain them.  See :mod:`repro.exp.service.server`.
+``estimate WORKLOAD``
+    Simulation-free profile prediction through the static analyser
+    (:mod:`repro.static`): reuse percentage, trace shape and the full
+    IPC/speed-up sweep without executing one instruction, annotated
+    with the kernel's recorded error band from ``BENCH_static.json``.
+``lint [PATHS...]``
+    Static diagnostics over RL sources (``.rl`` files/directories) or
+    — with ``--kernels`` or no arguments — every registered kernel's
+    assembled program.  Exits non-zero when any finding survives.
+``static validate``
+    Cross-validate the static estimator against the dynamic pipeline
+    over all kernels plus the generated workload families; writes (or
+    ``--check``s against) the per-kernel error bands in
+    ``BENCH_static.json``.
 """
 
 from __future__ import annotations
@@ -509,6 +523,102 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_estimate(args) -> int:
+    from repro.static.estimator import estimate_workload
+    from repro.static.validate import kernel_band, load_bands
+
+    config = ExperimentConfig(
+        max_instructions=args.budget, window_size=args.window
+    )
+    estimate = estimate_workload(args.workload, config)
+    profile = estimate.profile
+    print(f"{args.workload}: {profile.dynamic_count} predicted "
+          f"instructions, {profile.percent_reusable:.1f}% reusable, "
+          f"{profile.trace_count} traces "
+          f"(avg {profile.avg_trace_size:.1f} instr) — static, "
+          f"no execution")
+    rows = [
+        ["infinite", f"{profile.base_ipc_inf:.2f}",
+         f"{profile.ilr_speedup_inf.get(1, 1.0):.2f}",
+         f"{profile.tlr_speedup_inf.get(1, 1.0):.2f}"],
+        [f"W={config.window_size}", f"{profile.base_ipc_win:.2f}",
+         f"{profile.ilr_speedup_win.get(1, 1.0):.2f}",
+         f"{profile.tlr_speedup_win.get(1, 1.0):.2f}"],
+    ]
+    print(format_table(
+        ["window", "base_ipc", "ilr_speedup", "tlr_speedup"], rows
+    ))
+    if estimate.loop_table:
+        print(format_table(
+            ["loop@pc", "depth", "eff_trips", "exact", "II", "body_reuse"],
+            [[row["header_pc"], row["depth"], f"{row['eff_trips']:.1f}",
+              "y" if row["exact"] else "n", f"{row['ii']:.1f}",
+              f"{row['body_reuse_rate']:.2f}"]
+             for row in estimate.loop_table],
+        ))
+    band = kernel_band(load_bands(), args.workload)
+    if band:
+        print("recorded error band (vs dynamic, "
+              f"see BENCH_static.json): reuse ±{band['percent_reusable']:.3f}, "
+              f"ipc_inf ±{band['base_ipc_inf']:.3f}, "
+              f"ipc_win ±{band['base_ipc_win']:.3f}")
+    else:
+        print("no recorded error band — run 'repro static validate'")
+    for note in estimate.assumptions:
+        print(f"note: {note}")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.static.lint import lint_paths, lint_workloads
+
+    findings = []
+    if args.kernels or not args.paths:
+        findings.extend(lint_workloads())
+    if args.paths:
+        findings.extend(lint_paths(args.paths))
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("clean")
+    return 0
+
+
+def _cmd_static(args) -> int:
+    from repro.static import validate as sv
+
+    config = ExperimentConfig(max_instructions=args.budget)
+    report = sv.validate_static(
+        config,
+        include_families=not args.no_families,
+        progress=print,
+    )
+    summary = report["summary"]
+    rows = [
+        [metric, f"{stats['mean']:.3f}", f"{stats['max']:.3f}"]
+        for metric, stats in summary.items()
+    ]
+    print(format_table(["metric (error)", "mean", "max"], rows))
+    if args.check:
+        recorded = sv.load_bands(args.output)
+        if recorded is None:
+            print(f"no recorded bands at {args.output}; "
+                  "run without --check first")
+            return 1
+        problems = sv.check_bands(report, recorded)
+        for problem in problems:
+            print(f"REGRESSION {problem}")
+        if problems:
+            return 1
+        print(f"within recorded bands ({args.output})")
+        return 0
+    path = sv.write_bands(report, args.output)
+    print(f"wrote error bands to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -630,6 +740,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--workers", type=int, default=0,
                        help="resident worker processes draining enqueued "
                        "misses")
+
+    p_est = sub.add_parser(
+        "estimate",
+        help="simulation-free static profile prediction",
+    )
+    p_est.add_argument("workload")
+    p_est.add_argument("--budget", type=int, default=20_000,
+                       help="instruction budget the estimate models")
+    p_est.add_argument("--window", type=int, default=256)
+
+    p_lint = sub.add_parser(
+        "lint", help="static diagnostics over RL sources / kernels",
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help=".rl files or directories (default: lint "
+                        "every registered kernel)")
+    p_lint.add_argument("--kernels", action="store_true",
+                        help="also lint the registered kernels when "
+                        "paths are given")
+
+    p_st = sub.add_parser(
+        "static", help="static-estimator validation harness",
+    )
+    st_sub = p_st.add_subparsers(dest="static_command", required=True)
+    p_val = st_sub.add_parser(
+        "validate",
+        help="score static vs dynamic over kernels + generated families",
+    )
+    p_val.add_argument("--budget", type=int, default=8_000)
+    p_val.add_argument("--output", default="BENCH_static.json",
+                       help="error-band file to write or check")
+    p_val.add_argument("--check", action="store_true",
+                       help="compare against recorded bands instead of "
+                       "rewriting them; non-zero exit on regression")
+    p_val.add_argument("--no-families", action="store_true",
+                       help="skip the generated RL workload families")
     return parser
 
 
@@ -647,6 +793,9 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
     "serve": _cmd_serve,
+    "estimate": _cmd_estimate,
+    "lint": _cmd_lint,
+    "static": _cmd_static,
 }
 
 

@@ -69,6 +69,12 @@ class ExperimentConfig:
     #: instructions per chunk for the streaming pipeline (None = the
     #: tracestream default)
     stream_chunk_size: int | None = None
+    #: answer profiles from the simulation-free static estimator
+    #: (:mod:`repro.static`) instead of executing — a tier-0 path with
+    #: documented per-kernel error bands (``BENCH_static.json``).
+    #: Semantic on purpose: a predicted profile is not an executed one,
+    #: so the two never share a cache entry.
+    tier0_static: bool = False
 
     def to_dict(self) -> dict:
         """A JSON-round-trippable dict (tuples become lists).

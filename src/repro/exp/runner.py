@@ -123,6 +123,12 @@ def run_profile(
     """
     if config is None:
         config = ExperimentConfig()
+    if config.tier0_static:
+        # tier-0: predict the whole profile statically — no VM, no
+        # trace, no cache round-trip (the estimator is milliseconds)
+        from repro.static.estimator import estimate_profile
+
+        return estimate_profile(name, config)
     if _streaming_enabled(config):
         return run_profile_streaming(name, config)
     if config.use_cache:

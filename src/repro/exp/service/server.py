@@ -84,6 +84,11 @@ class ServiceFrontend:
                  queue: ShardQueue | None = None):
         self.defaults = defaults if defaults is not None else ExperimentConfig()
         self.queue = queue if queue is not None else ShardQueue()
+        #: finished static estimates, keyed by (workload, config key) —
+        #: the estimator is milliseconds but the hot path should not
+        #: re-analyse on every poll
+        self._static_memo: dict[tuple, dict] = {}
+        self._static_bands: dict | None | bool = False  # False = unloaded
 
     # -- handlers (synchronous; called via executor) -------------------
     def handle_health(self, params: dict[str, str]) -> tuple[int, dict]:
@@ -109,6 +114,8 @@ class ServiceFrontend:
             config = config_from_query(params, self.defaults)
         except ValueError as exc:
             return 400, {"error": f"bad query parameter: {exc}"}
+        if params.get("mode") == "static":
+            return self.handle_profile_static(workload, config)
         cached = tracecache.load_cached_profile(workload, config.cache_key())
         if isinstance(cached, BenchmarkProfile):
             incr("serve.profile.hit")
@@ -124,6 +131,49 @@ class ServiceFrontend:
         incr("serve.profile.miss")
         return 202, {"source": "enqueued", "workload": workload,
                      "job": job_id, "state": state}
+
+    def handle_profile_static(
+        self, workload: str, config: ExperimentConfig
+    ) -> tuple[int, dict]:
+        """``/profile?mode=static`` — predicted profile, zero execution.
+
+        Always a hot-path ``200``: the static estimator needs no trace
+        and no queue, so there is no miss case.  The answer carries the
+        kernel's recorded error band from ``BENCH_static.json`` so
+        callers can judge how far the prediction may sit from a
+        dynamic run.
+        """
+        from repro.static.estimator import estimate_profile
+        from repro.static.validate import kernel_band, load_bands
+        from repro.workloads.base import get_workload
+
+        try:
+            get_workload(workload)
+        except KeyError:
+            return 404, {"error": f"unknown workload {workload!r}"}
+        key = (workload, config.cache_key())
+        body = self._static_memo.get(key)
+        if body is None:
+            profile = estimate_profile(workload, config)
+            if self._static_bands is False:
+                self._static_bands = load_bands()
+            band = kernel_band(self._static_bands, workload)
+            body = {
+                "source": "static",
+                "workload": workload,
+                "profile": profile_to_json(profile),
+                "error_band": band,
+                "error_band_note": (
+                    "per-metric prediction error recorded by "
+                    "'repro static validate' (BENCH_static.json); "
+                    "percent_reusable is absolute/100, others relative"
+                    if band else
+                    "no recorded bands — run 'repro static validate'"
+                ),
+            }
+            self._static_memo[key] = body
+        incr("serve.profile.static")
+        return 200, body
 
     def handle_figure(self, params: dict[str, str]) -> tuple[int, dict]:
         from repro.exp import figures as figmod

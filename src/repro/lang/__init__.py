@@ -37,5 +37,11 @@ from repro.lang.compiler import (
     compile_source,
     compile_to_assembly,
 )
+from repro.lang.errors import SourceError
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError, parse
 
-__all__ = ["compile_source", "compile_to_assembly", "CompileError"]
+__all__ = [
+    "compile_source", "compile_to_assembly", "parse",
+    "SourceError", "LexError", "ParseError", "CompileError",
+]

@@ -32,6 +32,7 @@ from repro.lang.ast_nodes import (
     VarRef,
     While,
 )
+from repro.lang.errors import SourceError
 from repro.lang.lexer import LexError
 from repro.lang.parser import ParseError, parse
 from repro.vm.assembler import assemble
@@ -47,12 +48,8 @@ __all__ = [
 _MAX_DEPTH = 8  # expression register stack: t0..t7
 
 
-class CompileError(ValueError):
+class CompileError(SourceError):
     """Semantic error with a source line."""
-
-    def __init__(self, message: str, line: int):
-        super().__init__(f"line {line}: {message}")
-        self.line = line
 
 
 _BINARY_OPS = {
@@ -352,18 +349,35 @@ class _ModuleCompiler:
         return "\n".join(lines) + "\n"
 
 
+def _guarded(fn, line: int = 1):
+    """Run one compilation stage, converting internal faults.
+
+    The compiler walks user ASTs recursively; pathological nesting or
+    a malformed (hand-built) module must surface as a typed
+    :class:`CompileError`, never a bare ``RecursionError``/
+    ``KeyError``/``IndexError``.
+    """
+    try:
+        return fn()
+    except SourceError:
+        raise
+    except RecursionError:
+        raise CompileError("program nesting too deep", line) from None
+    except (KeyError, IndexError) as exc:
+        raise CompileError(f"internal compiler fault: {exc!r}", line) from exc
+
+
 def compile_module(module: Module, name: str = "<rl>") -> Program:
     """Compile an already-parsed (or transformed) module."""
-    return assemble(_ModuleCompiler(module).compile(), name=name)
+    return assemble(
+        _guarded(_ModuleCompiler(module).compile), name=name
+    )
 
 
 def compile_to_assembly(source: str) -> str:
     """Compile RL source text to assembly text."""
-    try:
-        module = parse(source)
-    except (ParseError, LexError):
-        raise
-    return _ModuleCompiler(module).compile()
+    module = parse(source)
+    return _guarded(_ModuleCompiler(module).compile)
 
 
 def compile_source(source: str, name: str = "<rl>") -> Program:

@@ -1,0 +1,24 @@
+"""Typed front-end errors with source positions.
+
+Every failure the RL front end can produce — tokenising, parsing,
+semantic checking — derives from :class:`SourceError`, which pins a
+``line`` (and, where the lexer knows it, a ``col``).  The ``parse``
+and ``compile_*`` entry points guarantee the contract: internal
+faults (recursion blow-ups on pathological nesting, lookup misses on
+malformed token streams) are converted at the boundary, so a caller
+feeding untrusted source can catch ``SourceError`` and never sees a
+bare ``KeyError``/``IndexError``/``RecursionError``.
+"""
+
+from __future__ import annotations
+
+
+class SourceError(ValueError):
+    """A diagnosable error at a source position."""
+
+    def __init__(self, message: str, line: int, col: int | None = None):
+        pos = f"line {line}" if col is None else f"line {line}, col {col}"
+        super().__init__(f"{pos}: {message}")
+        self.message = message
+        self.line = line
+        self.col = col

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.lang.errors import SourceError
+
 KEYWORDS = {"var", "func", "if", "else", "while", "return"}
 
 #: multi-character operators, longest first
@@ -15,12 +17,8 @@ _OPERATORS = [
 ]
 
 
-class LexError(ValueError):
+class LexError(SourceError):
     """Bad character or malformed literal."""
-
-    def __init__(self, message: str, line: int):
-        super().__init__(f"line {line}: {message}")
-        self.line = line
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,19 +26,26 @@ class Token:
     kind: str  # "int", "ident", "keyword", "op", "eof"
     text: str
     line: int
+    col: int = 1
 
 
 def tokenize(source: str) -> list[Token]:
     """Split source text into tokens (comments start with ``#``)."""
     tokens: list[Token] = []
     line = 1
+    line_start = 0
     i = 0
     n = len(source)
+
+    def col(at: int) -> int:
+        return at - line_start + 1
+
     while i < n:
         ch = source[i]
         if ch == "\n":
             line += 1
             i += 1
+            line_start = i
             continue
         if ch in " \t\r":
             i += 1
@@ -57,14 +62,17 @@ def tokenize(source: str) -> list[Token]:
                     i += 1
                 text = source[start:i]
                 if len(text) == 2:
-                    raise LexError("malformed hex literal", line)
+                    raise LexError("malformed hex literal", line, col(start))
             else:
                 while i < n and source[i].isdigit():
                     i += 1
                 text = source[start:i]
                 if i < n and (source[i].isalpha() or source[i] == "_"):
-                    raise LexError(f"malformed number {text + source[i]!r}", line)
-            tokens.append(Token("int", text, line))
+                    raise LexError(
+                        f"malformed number {text + source[i]!r}",
+                        line, col(start),
+                    )
+            tokens.append(Token("int", text, line, col(start)))
             continue
         if ch.isalpha() or ch == "_":
             start = i
@@ -72,14 +80,14 @@ def tokenize(source: str) -> list[Token]:
                 i += 1
             text = source[start:i]
             kind = "keyword" if text in KEYWORDS else "ident"
-            tokens.append(Token(kind, text, line))
+            tokens.append(Token(kind, text, line, col(start)))
             continue
         for op in _OPERATORS:
             if source.startswith(op, i):
-                tokens.append(Token("op", op, line))
+                tokens.append(Token("op", op, line, col(i)))
                 i += len(op)
                 break
         else:
-            raise LexError(f"unexpected character {ch!r}", line)
-    tokens.append(Token("eof", "", line))
+            raise LexError(f"unexpected character {ch!r}", line, col(i))
+    tokens.append(Token("eof", "", line, col(i)))
     return tokens

@@ -21,15 +21,12 @@ from repro.lang.ast_nodes import (
     VarRef,
     While,
 )
+from repro.lang.errors import SourceError
 from repro.lang.lexer import Token, tokenize
 
 
-class ParseError(ValueError):
-    """Syntax error with a source line."""
-
-    def __init__(self, message: str, line: int):
-        super().__init__(f"line {line}: {message}")
-        self.line = line
+class ParseError(SourceError):
+    """Syntax error with a source position."""
 
 
 #: binary operator precedence levels, loosest first
@@ -73,7 +70,10 @@ class _Parser:
         token = self.peek()
         if not self.check(kind, text):
             wanted = text if text is not None else kind
-            raise ParseError(f"expected {wanted!r}, found {token.text!r}", token.line)
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}",
+                token.line, token.col,
+            )
         return self.advance()
 
     # -- grammar ---------------------------------------------------------
@@ -146,7 +146,10 @@ class _Parser:
         statements: list[Stmt] = []
         while not self.check("op", "}"):
             if self.check("eof"):
-                raise ParseError("unterminated block", self.peek().line)
+                raise ParseError(
+                    "unterminated block",
+                    self.peek().line, self.peek().col,
+                )
             statements.append(self.statement())
         self.expect("op", "}")
         return tuple(statements)
@@ -162,12 +165,14 @@ class _Parser:
                 return self.while_stmt()
             if token.text == "return":
                 return self.return_stmt()
-            raise ParseError(f"unexpected keyword {token.text!r}", token.line)
+            raise ParseError(
+                f"unexpected keyword {token.text!r}", token.line, token.col
+            )
         # assignment or expression statement
         expr = self.expression()
         if self.accept("op", "="):
             if not isinstance(expr, (VarRef, IndexRef)):
-                raise ParseError("invalid assignment target", token.line)
+                raise ParseError("invalid assignment target", token.line, token.col)
             value = self.expression()
             self.accept("op", ";")
             return Assign(line=token.line, target=expr, value=value)
@@ -259,9 +264,23 @@ class _Parser:
             expr = self.expression()
             self.expect("op", ")")
             return expr
-        raise ParseError(f"unexpected token {token.text!r}", token.line)
+        raise ParseError(
+            f"unexpected token {token.text!r}", token.line, token.col
+        )
 
 
 def parse(source: str) -> Module:
-    """Parse RL source text into a :class:`Module`."""
-    return _Parser(tokenize(source)).module()
+    """Parse RL source text into a :class:`Module`.
+
+    Raises :class:`~repro.lang.errors.SourceError` subclasses only
+    (``LexError``/``ParseError``) — internal faults on pathological
+    input are converted at this boundary.
+    """
+    try:
+        return _Parser(tokenize(source)).module()
+    except SourceError:
+        raise
+    except RecursionError:
+        raise ParseError("expression nesting too deep", 1) from None
+    except (KeyError, IndexError) as exc:  # pragma: no cover - belt
+        raise ParseError(f"internal parser fault: {exc!r}", 1) from exc

@@ -1,0 +1,75 @@
+"""``repro.static`` — simulation-free program analysis.
+
+A multi-pass static-analysis framework over ``repro.lang`` ASTs and
+compiled ISA :class:`~repro.vm.program.Program` objects.  Everything
+here reads program *structure* only — no kernel is ever executed —
+which makes it the cheap tier-0 inference path for the serving stack:
+a ``/profile?mode=static`` query is answered from loop bounds and
+dependence shapes in well under a millisecond, with the VM held in
+reserve for queries that need exact numbers.
+
+Layers (each usable on its own):
+
+:mod:`repro.static.driver`
+    The shared pass manager: named passes with declared dependencies,
+    memoised per analysis unit.  The estimator and the linter are both
+    thin clients of the same driver, so CFG/loop facts are derived
+    once per program no matter how many analyses consume them.
+:mod:`repro.static.cfg`
+    ISA-level facts: basic blocks, CFG, dominators, natural loops with
+    nesting, trip-count inference and execution-frequency estimates.
+:mod:`repro.static.langwalk`
+    AST walker infrastructure for ``repro.lang`` modules (generic node
+    iteration, loop-nest and symbol-use extraction, constant folding).
+:mod:`repro.static.estimator`
+    :class:`StaticReuseEstimator` — predicts a
+    :class:`~repro.exp.runner.BenchmarkProfile`-shaped reuse profile
+    (reusability, trace spans, reuse-distance proxies, base IPC and
+    ILR/TLR speed-ups) without executing a single instruction.
+:mod:`repro.static.lint`
+    ``repro lint`` diagnostics (unreachable code, unused symbols,
+    zero-trip / provably non-terminating loops, constant conditions)
+    over RL sources and compiled kernels.
+:mod:`repro.static.validate`
+    The cross-validation harness scoring static predictions against
+    cached dynamic profiles; error bands persist to
+    ``BENCH_static.json`` and gate CI.
+"""
+
+from repro.static.cfg import ControlFlowGraph, Loop, build_cfg
+from repro.static.driver import AnalysisDriver, AnalysisUnit
+from repro.static.estimator import (
+    StaticEstimate,
+    StaticReuseEstimator,
+    estimate_profile,
+    estimate_workload,
+)
+from repro.static.lint import LintFinding, lint_program, lint_source, lint_workloads
+from repro.static.validate import (
+    DEFAULT_BANDS_PATH,
+    check_bands,
+    load_bands,
+    validate_static,
+    write_bands,
+)
+
+__all__ = [
+    "AnalysisDriver",
+    "AnalysisUnit",
+    "ControlFlowGraph",
+    "Loop",
+    "build_cfg",
+    "StaticEstimate",
+    "StaticReuseEstimator",
+    "estimate_profile",
+    "estimate_workload",
+    "LintFinding",
+    "lint_program",
+    "lint_source",
+    "lint_workloads",
+    "DEFAULT_BANDS_PATH",
+    "check_bands",
+    "load_bands",
+    "validate_static",
+    "write_bands",
+]

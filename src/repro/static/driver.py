@@ -1,0 +1,201 @@
+"""The shared multi-pass analysis driver.
+
+Static consumers (the reuse estimator, the linter, the CLI) all need
+the same underlying facts — the CFG, the loop forest, trip counts,
+block frequencies, the class census.  The driver derives each fact
+**once per analysis unit** through a registry of named passes with
+declared dependencies, so adding a consumer never adds a re-analysis.
+
+An :class:`AnalysisUnit` wraps either a compiled ISA
+:class:`~repro.vm.program.Program` (the 14 kernels are authored in
+assembly) or an RL module (generated workload families, user
+sources); RL units keep their AST for the language-level passes and
+compile to a program so the ISA passes apply uniformly.
+
+Registering a pass::
+
+    @analysis_pass("census", requires=("cfg", "frequencies"))
+    def _census(unit, facts):
+        return class_census(facts["cfg"], facts["frequencies"])
+
+Consumers then call ``driver.get(unit, "census")``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.vm.program import Program
+
+#: global registry: name -> (requires, fn)
+_PASSES: dict[str, tuple[tuple[str, ...], Callable]] = {}
+
+
+def analysis_pass(name: str, requires: tuple[str, ...] = ()):
+    """Decorator registering ``fn(unit, facts) -> result`` as a pass."""
+
+    def wrap(fn: Callable) -> Callable:
+        if name in _PASSES:
+            raise ValueError(f"duplicate analysis pass {name!r}")
+        _PASSES[name] = (tuple(requires), fn)
+        return fn
+
+    return wrap
+
+
+def registered_passes() -> tuple[str, ...]:
+    """Names of all registered passes (for diagnostics)."""
+    return tuple(sorted(_PASSES))
+
+
+@dataclass(slots=True)
+class AnalysisUnit:
+    """One subject of analysis: an ISA program, optionally with its RL AST."""
+
+    program: Program
+    #: parsed repro.lang module when the unit came from RL source
+    module: Any = None
+    #: original RL source text (line-accurate diagnostics)
+    source: str | None = None
+    name: str = "<unit>"
+    #: instruction budget the estimate should model (None = unbounded)
+    budget: int | None = None
+
+    @classmethod
+    def from_program(
+        cls, program: Program, *, budget: int | None = None
+    ) -> "AnalysisUnit":
+        return cls(program=program, name=program.name, budget=budget)
+
+    @classmethod
+    def from_rl_source(
+        cls, source: str, *, name: str = "<rl>", budget: int | None = None
+    ) -> "AnalysisUnit":
+        """Parse + compile RL text into a unit carrying both views."""
+        from repro.lang.compiler import compile_module
+        from repro.lang.parser import parse
+
+        module = parse(source)
+        program = compile_module(module, name=name)
+        return cls(
+            program=program, module=module, source=source,
+            name=name, budget=budget,
+        )
+
+    @classmethod
+    def from_workload(
+        cls, name: str, *, scale: int = 1, budget: int | None = None
+    ) -> "AnalysisUnit":
+        """A unit for a registered kernel (assembled, never executed)."""
+        from repro.workloads.base import build_program
+
+        return cls(
+            program=build_program(name, scale), name=name, budget=budget
+        )
+
+
+class AnalysisDriver:
+    """Runs passes over units, memoising results per (unit, pass).
+
+    Facts are keyed by object identity of the unit; a driver is meant
+    to live for one request/CLI invocation (the serving layer keeps a
+    small LRU of finished *estimates*, not of drivers).
+    """
+
+    def __init__(self) -> None:
+        self._facts: dict[int, dict[str, Any]] = {}
+
+    def get(self, unit: AnalysisUnit, name: str) -> Any:
+        """The result of pass ``name`` on ``unit`` (computing if needed)."""
+        facts = self._facts.setdefault(id(unit), {})
+        return self._resolve(unit, name, facts, stack=())
+
+    def facts_for(self, unit: AnalysisUnit) -> dict[str, Any]:
+        """All facts derived so far for ``unit`` (debugging aid)."""
+        return dict(self._facts.get(id(unit), {}))
+
+    def _resolve(
+        self,
+        unit: AnalysisUnit,
+        name: str,
+        facts: dict[str, Any],
+        stack: tuple[str, ...],
+    ) -> Any:
+        if name in facts:
+            return facts[name]
+        if name in stack:
+            cycle = " -> ".join(stack + (name,))
+            raise ValueError(f"analysis pass dependency cycle: {cycle}")
+        try:
+            requires, fn = _PASSES[name]
+        except KeyError:
+            known = ", ".join(registered_passes())
+            raise KeyError(
+                f"unknown analysis pass {name!r}; registered: {known}"
+            ) from None
+        for dep in requires:
+            self._resolve(unit, dep, facts, stack + (name,))
+        result = fn(unit, facts)
+        facts[name] = result
+        return result
+
+
+# ---------------------------------------------------------------------------
+# the core fact passes (ISA level)
+# ---------------------------------------------------------------------------
+
+
+@analysis_pass("cfg")
+def _pass_cfg(unit: AnalysisUnit, facts: dict) -> Any:
+    from repro.static.cfg import build_cfg
+
+    return build_cfg(unit.program)
+
+
+@analysis_pass("frequencies", requires=("cfg",))
+def _pass_frequencies(unit: AnalysisUnit, facts: dict) -> Any:
+    from repro.static.cfg import estimate_frequencies
+
+    return estimate_frequencies(facts["cfg"], budget=unit.budget)
+
+
+@analysis_pass("census", requires=("cfg", "frequencies"))
+def _pass_census(unit: AnalysisUnit, facts: dict) -> Any:
+    from repro.static.cfg import class_census
+
+    return class_census(facts["cfg"], facts["frequencies"])
+
+
+@analysis_pass("variants", requires=("cfg",))
+def _pass_variants(unit: AnalysisUnit, facts: dict) -> Any:
+    from repro.static.estimator import loop_variant_registers
+
+    cfg = facts["cfg"]
+    return {
+        i: loop_variant_registers(cfg, i) for i in range(len(cfg.loops))
+    }
+
+
+@analysis_pass("cardinality", requires=("cfg",))
+def _pass_cardinality(unit: AnalysisUnit, facts: dict) -> Any:
+    """Per-loop value-cardinality bounds (value-repetition inference)."""
+    from repro.static.cfg import data_regions, loop_value_cardinality
+
+    cfg = facts["cfg"]
+    regions = data_regions(cfg.program)
+    return {
+        i: loop_value_cardinality(cfg, i, regions)
+        for i in range(len(cfg.loops))
+    }
+
+
+@analysis_pass("langinfo")
+def _pass_langinfo(unit: AnalysisUnit, facts: dict) -> Any:
+    """Language-level structure (None for pure-assembly units)."""
+    if unit.module is None:
+        return None
+    from repro.static.langwalk import module_info
+
+    return module_info(unit.module)

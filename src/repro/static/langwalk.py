@@ -1,0 +1,280 @@
+"""AST walker infrastructure for ``repro.lang`` modules.
+
+Generic node iteration plus the language-level structure both the
+linter and the estimator's RL front door consume: loop nests with
+statically-evaluated bounds, symbol definition/use tables, constant
+folding of side-effect-free expressions.  Everything here is pure
+tree traversal — nothing executes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    Function,
+    If,
+    IndexRef,
+    IntLiteral,
+    Module,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+
+
+def child_nodes(node) -> Iterator:
+    """Immediate AST children of any RL node (expressions first)."""
+    if isinstance(node, Module):
+        yield from node.functions
+    elif isinstance(node, Function):
+        yield from node.body
+    elif isinstance(node, VarDecl):
+        if node.initial is not None:
+            yield node.initial
+    elif isinstance(node, Assign):
+        yield node.target
+        yield node.value
+    elif isinstance(node, If):
+        yield node.condition
+        yield from node.then_body
+        yield from node.else_body
+    elif isinstance(node, While):
+        yield node.condition
+        yield from node.body
+    elif isinstance(node, Return):
+        if node.value is not None:
+            yield node.value
+    elif isinstance(node, ExprStmt):
+        yield node.expr
+    elif isinstance(node, IndexRef):
+        yield node.index
+    elif isinstance(node, Unary):
+        yield node.operand
+    elif isinstance(node, Binary):
+        yield node.left
+        yield node.right
+    elif isinstance(node, Call):
+        yield from node.args
+
+
+def walk(node) -> Iterator:
+    """Depth-first pre-order walk over a node and its subtree."""
+    yield node
+    for child in child_nodes(node):
+        yield from walk(child)
+
+
+def fold_constant(expr: Expr) -> int | None:
+    """The integer value of a side-effect-free constant expression.
+
+    Returns None when the expression reads a variable, calls a
+    function, or divides by a constant zero.
+    """
+    if isinstance(expr, IntLiteral):
+        return expr.value
+    if isinstance(expr, Unary):
+        v = fold_constant(expr.operand)
+        if v is None:
+            return None
+        return -v if expr.op == "-" else int(not v)
+    if isinstance(expr, Binary):
+        left = fold_constant(expr.left)
+        right = fold_constant(expr.right)
+        if left is None or right is None:
+            return None
+        op = expr.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op in ("/", "%"):
+            if right == 0:
+                return None
+            q = abs(left) // abs(right)
+            if (left < 0) != (right < 0):
+                q = -q
+            return q if op == "/" else left - q * right
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "&&":
+            return int(bool(left) and bool(right))
+        if op == "||":
+            return int(bool(left) or bool(right))
+    return None
+
+
+@dataclass(slots=True)
+class LoopInfo:
+    """One ``while`` loop and what the walker could prove about it."""
+
+    node: While
+    function: str
+    depth: int
+    #: constant value of the condition, when provable (0 = zero-trip)
+    const_condition: int | None = None
+    #: True when some statement in the body writes a condition variable
+    condition_varies: bool = False
+    #: True when the body contains a return/break-equivalent exit
+    has_exit: bool = False
+
+
+@dataclass(slots=True)
+class SymbolUses:
+    """Definition/read/write sites per symbol name."""
+
+    reads: dict[str, list[int]] = field(default_factory=dict)
+    writes: dict[str, list[int]] = field(default_factory=dict)
+
+    def read(self, name: str, line: int) -> None:
+        self.reads.setdefault(name, []).append(line)
+
+    def write(self, name: str, line: int) -> None:
+        self.writes.setdefault(name, []).append(line)
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """Walker products for one function."""
+
+    node: Function
+    loops: list[LoopInfo] = field(default_factory=list)
+    locals: dict[str, int] = field(default_factory=dict)  # name -> decl line
+    uses: SymbolUses = field(default_factory=SymbolUses)
+    #: statements directly following a Return in the same block
+    unreachable: list[Stmt] = field(default_factory=list)
+    calls: list[Call] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Walker products for a whole module."""
+
+    module: Module
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: global name -> declaration line
+    globals: dict[str, int] = field(default_factory=dict)
+    #: global name -> read/write lines across all functions
+    global_uses: SymbolUses = field(default_factory=SymbolUses)
+
+
+def _condition_names(expr: Expr) -> set[str]:
+    return {
+        n.name for n in walk(expr) if isinstance(n, (VarRef, IndexRef))
+    }
+
+
+def _body_writes(body: tuple[Stmt, ...]) -> set[str]:
+    names: set[str] = set()
+    for stmt in body:
+        for node in walk(stmt):
+            if isinstance(node, Assign):
+                names.add(node.target.name)
+            elif isinstance(node, VarDecl):
+                names.add(node.name)
+            elif isinstance(node, Call):
+                # a call may mutate globals; treated as writing all
+                # names (callers decide how conservative to be)
+                names.add("<call>")
+    return names
+
+
+def _collect_function(fn: Function, info: FunctionInfo) -> None:
+    def visit_expr(expr: Expr) -> None:
+        for node in walk(expr):
+            if isinstance(node, (VarRef, IndexRef)):
+                info.uses.read(node.name, node.line)
+            elif isinstance(node, Call):
+                info.calls.append(node)
+
+    def visit_block(body: tuple[Stmt, ...], depth: int) -> None:
+        terminated_at: int | None = None
+        for i, stmt in enumerate(body):
+            if terminated_at is not None:
+                info.unreachable.append(stmt)
+                continue
+            if isinstance(stmt, VarDecl):
+                info.locals[stmt.name] = stmt.line
+                info.uses.write(stmt.name, stmt.line)
+                if stmt.initial is not None:
+                    visit_expr(stmt.initial)
+            elif isinstance(stmt, Assign):
+                info.uses.write(stmt.target.name, stmt.line)
+                if isinstance(stmt.target, IndexRef):
+                    visit_expr(stmt.target.index)
+                visit_expr(stmt.value)
+            elif isinstance(stmt, If):
+                visit_expr(stmt.condition)
+                visit_block(stmt.then_body, depth)
+                visit_block(stmt.else_body, depth)
+            elif isinstance(stmt, While):
+                visit_expr(stmt.condition)
+                cond_names = _condition_names(stmt.condition)
+                writes = _body_writes(stmt.body)
+                loop = LoopInfo(
+                    node=stmt,
+                    function=fn.name,
+                    depth=depth + 1,
+                    const_condition=fold_constant(stmt.condition),
+                    condition_varies=bool(
+                        cond_names & writes or "<call>" in writes
+                    ),
+                    has_exit=any(
+                        isinstance(n, Return)
+                        for s in stmt.body for n in walk(s)
+                    ),
+                )
+                info.loops.append(loop)
+                visit_block(stmt.body, depth + 1)
+            elif isinstance(stmt, Return):
+                if stmt.value is not None:
+                    visit_expr(stmt.value)
+                terminated_at = i
+            elif isinstance(stmt, ExprStmt):
+                visit_expr(stmt.expr)
+
+    for p in fn.params:
+        info.locals[p] = fn.line
+        info.uses.write(p, fn.line)
+    visit_block(fn.body, 0)
+
+
+def module_info(module: Module) -> ModuleInfo:
+    """Walk a module once, collecting everything lint/estimation need."""
+    info = ModuleInfo(module=module)
+    for g in module.globals:
+        info.globals[g.name] = g.line
+    for fn in module.functions:
+        fninfo = FunctionInfo(node=fn)
+        _collect_function(fn, fninfo)
+        info.functions[fn.name] = fninfo
+        for name, lines in fninfo.uses.reads.items():
+            if name in info.globals and name not in fninfo.locals:
+                for line in lines:
+                    info.global_uses.read(name, line)
+        for name, lines in fninfo.uses.writes.items():
+            if name in info.globals and name not in fninfo.locals:
+                for line in lines:
+                    info.global_uses.write(name, line)
+    return info

@@ -1,0 +1,203 @@
+"""``repro lint`` — diagnostics over RL sources and compiled kernels.
+
+Both front ends are thin clients of the shared analysis
+infrastructure: RL sources go through :mod:`repro.static.langwalk`
+(unused globals/locals, unreachable statements, constant conditions,
+zero-trip and provably non-terminating loops), compiled/assembled
+programs through the :mod:`repro.static.cfg` facts (unreachable
+blocks, trivially-dead branches).  Findings carry a rule id, a
+location and a one-line message; ``repro lint`` exits non-zero when
+any finding survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.static.cfg import build_cfg
+from repro.static.langwalk import ModuleInfo, module_info
+from repro.vm.program import Program
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    """One diagnostic: where, which rule, what."""
+
+    rule: str
+    message: str
+    unit: str
+    line: int | None = None
+
+    def format(self) -> str:
+        where = self.unit if self.line is None else f"{self.unit}:{self.line}"
+        return f"{where}: {self.rule}: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# RL source rules
+# ---------------------------------------------------------------------------
+
+
+def _lint_module(info: ModuleInfo, unit: str) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+
+    read_globals = set(info.global_uses.reads)
+    written_globals = set(info.global_uses.writes)
+    for name, line in info.globals.items():
+        if name not in read_globals and name not in written_globals:
+            findings.append(LintFinding(
+                "unused-global",
+                f"global '{name}' is never used",
+                unit, line,
+            ))
+        elif name not in read_globals:
+            findings.append(LintFinding(
+                "write-only-global",
+                f"global '{name}' is written but never read",
+                unit, line,
+            ))
+
+    for fname, fn in info.functions.items():
+        for name, line in fn.locals.items():
+            if name in fn.node.params:
+                continue  # a signature is an interface, not dead code
+            reads = fn.uses.reads.get(name, [])
+            if not reads:
+                findings.append(LintFinding(
+                    "unused-local",
+                    f"local '{name}' in {fname}() is never read",
+                    unit, line,
+                ))
+        for stmt in fn.unreachable:
+            findings.append(LintFinding(
+                "unreachable-code",
+                f"statement in {fname}() follows a return",
+                unit, stmt.line,
+            ))
+        for loop in fn.loops:
+            if loop.const_condition is not None:
+                if loop.const_condition == 0:
+                    findings.append(LintFinding(
+                        "zero-trip-loop",
+                        f"while condition in {fname}() is constant 0; "
+                        "the body never runs",
+                        unit, loop.node.line,
+                    ))
+                elif not loop.has_exit:
+                    findings.append(LintFinding(
+                        "non-terminating-loop",
+                        f"while condition in {fname}() is constant "
+                        f"{loop.const_condition} and the body has no "
+                        "return",
+                        unit, loop.node.line,
+                    ))
+                else:
+                    findings.append(LintFinding(
+                        "constant-condition",
+                        f"while condition in {fname}() is constant "
+                        f"{loop.const_condition}",
+                        unit, loop.node.line,
+                    ))
+            elif not loop.condition_varies and not loop.has_exit:
+                findings.append(LintFinding(
+                    "non-terminating-loop",
+                    f"while loop in {fname}() never modifies its "
+                    "condition and has no other exit",
+                    unit, loop.node.line,
+                ))
+
+        # constant if-conditions (loops handled above)
+        from repro.lang.ast_nodes import If
+        from repro.static.langwalk import fold_constant, walk
+
+        for node in walk(fn.node):
+            if isinstance(node, If):
+                value = fold_constant(node.condition)
+                if value is not None:
+                    dead = "else" if value else "then"
+                    findings.append(LintFinding(
+                        "constant-condition",
+                        f"if condition in {fname}() is constant "
+                        f"{value}; the {dead} branch is dead",
+                        unit, node.line,
+                    ))
+    return findings
+
+
+def lint_source(source: str, unit: str = "<rl>") -> list[LintFinding]:
+    """Lint an RL source text; parse errors surface as findings too."""
+    from repro.lang.errors import SourceError
+    from repro.lang.parser import parse
+
+    try:
+        module = parse(source)
+    except SourceError as exc:
+        return [LintFinding(
+            "parse-error", str(exc), unit, getattr(exc, "line", None)
+        )]
+    return _lint_module(module_info(module), unit)
+
+
+# ---------------------------------------------------------------------------
+# ISA program rules
+# ---------------------------------------------------------------------------
+
+
+def lint_program(program: Program, unit: str | None = None) -> list[LintFinding]:
+    """Lint a compiled/assembled program through the CFG facts."""
+    unit = unit or program.name
+    findings: list[LintFinding] = []
+    cfg = build_cfg(program)
+    dead_pcs = 0
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            dead_pcs += len(block)
+    if dead_pcs:
+        findings.append(LintFinding(
+            "unreachable-code",
+            f"{dead_pcs} instruction(s) in unreachable blocks",
+            unit,
+        ))
+    # self-branches: a conditional branch whose target is itself with
+    # no register change in between is a one-instruction infinite loop
+    for block in cfg.blocks:
+        if len(block) == 1 and block.successors == (block.index,):
+            findings.append(LintFinding(
+                "non-terminating-loop",
+                f"single-instruction loop at pc {block.start}",
+                unit,
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# tree runners
+# ---------------------------------------------------------------------------
+
+
+def lint_workloads(names: list[str] | None = None) -> list[LintFinding]:
+    """Lint every registered kernel's assembled program."""
+    from repro.workloads.base import FP_SUITE, INT_SUITE, build_program
+
+    if names is None:
+        names = list(FP_SUITE + INT_SUITE)
+    findings: list[LintFinding] = []
+    for name in names:
+        findings.extend(lint_program(build_program(name, 1), unit=name))
+    return findings
+
+
+def lint_paths(paths: list[str]) -> list[LintFinding]:
+    """Lint ``.rl`` files (RL sources) under files or directories."""
+    findings: list[LintFinding] = []
+    for raw in paths:
+        path = Path(raw)
+        files = (
+            sorted(path.rglob("*.rl")) if path.is_dir() else [path]
+        )
+        for file in files:
+            findings.extend(
+                lint_source(file.read_text(), unit=str(file))
+            )
+    return findings

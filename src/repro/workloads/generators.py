@@ -79,6 +79,95 @@ def smooth_grid(n: int, seed: int, *, lo: float = 0.0, hi: float = 4.0) -> list[
     return out
 
 
+def rl_loop_nest(
+    *,
+    depth: int = 2,
+    trips: int = 8,
+    branchiness: int = 0,
+    value_period: int = 0,
+    array_size: int = 16,
+) -> str:
+    """An RL program shaped like the paper's kernels, parameterised.
+
+    ``depth`` nested counted loops of ``trips`` iterations each;
+    ``branchiness`` adds a data-dependent ``if`` per nesting level;
+    ``value_period`` > 0 makes the innermost body read an array
+    through a modular index, so input values repeat with that period
+    (the knob that separates value repetition from pure control
+    repetition).  Deterministic: same arguments, same source.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    lines = [
+        words_directive_rl("data", [
+            (3 + 7 * i) % 23 for i in range(max(array_size, 1))
+        ]),
+        "var acc = 0",
+        "func main() {",
+    ]
+    indent = "    "
+    counters = [f"i{d}" for d in range(depth)]
+    for d, c in enumerate(counters):
+        pad = indent * (d + 1)
+        lines.append(f"{pad}var {c} = 0")
+        lines.append(f"{pad}while ({c} < {trips}) {{")
+    pad = indent * (depth + 1)
+    inner = counters[-1]
+    if value_period > 0:
+        lines.append(
+            f"{pad}acc = acc + data[{inner} % {value_period}]"
+        )
+    else:
+        lines.append(f"{pad}acc = acc + {inner} * 3")
+    if branchiness > 0:
+        lines.append(f"{pad}if (acc % {branchiness + 1} == 0) {{")
+        lines.append(f"{pad}{indent}acc = acc + 1")
+        lines.append(f"{pad}}}")
+    for d in range(depth - 1, -1, -1):
+        pad = indent * (d + 1)
+        lines.append(f"{pad}{indent}{counters[d]} = {counters[d]} + 1")
+        lines.append(f"{pad}}}")
+    lines.append(f"{indent}return acc")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def words_directive_rl(name: str, values: Sequence[int]) -> str:
+    """Render an initialised RL global array declaration."""
+    vals = list(values)
+    joined = ", ".join(str(v) for v in vals)
+    return f"var {name}[{len(vals)}] = {{{joined}}}"
+
+
+def generated_families() -> list[tuple[str, str]]:
+    """The fixed (name, RL source) grid the validation harness sweeps.
+
+    Spans the axes the static model keys on: nesting depth, trip
+    count, branch density and value-repetition period.
+    """
+    families: list[tuple[str, str]] = []
+    for depth in (1, 2, 3):
+        families.append((
+            f"gen_depth{depth}",
+            rl_loop_nest(depth=depth, trips=12),
+        ))
+    for trips in (4, 32):
+        families.append((
+            f"gen_trips{trips}",
+            rl_loop_nest(depth=2, trips=trips),
+        ))
+    families.append((
+        "gen_branchy",
+        rl_loop_nest(depth=2, trips=12, branchiness=3),
+    ))
+    for period in (2, 8):
+        families.append((
+            f"gen_period{period}",
+            rl_loop_nest(depth=2, trips=12, value_period=period),
+        ))
+    return families
+
+
 def token_stream(length: int, seed: int, *, kinds: int = 10) -> list[int]:
     """A token-id stream with grammar-like bigram structure (gcc food)."""
     rng = DeterministicRNG(seed)

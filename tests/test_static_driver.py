@@ -1,0 +1,74 @@
+"""The shared analysis driver: pass registry, memoisation, units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.static.driver import (
+    AnalysisDriver,
+    AnalysisUnit,
+    analysis_pass,
+    registered_passes,
+)
+from repro.workloads.generators import rl_loop_nest
+
+
+class TestRegistry:
+    def test_core_passes_registered(self):
+        names = registered_passes()
+        for expected in ("cfg", "frequencies", "census", "variants",
+                         "cardinality", "langinfo"):
+            assert expected in names
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            analysis_pass("cfg")(lambda unit, facts: None)
+
+    def test_unknown_pass_lists_known(self):
+        driver = AnalysisDriver()
+        unit = AnalysisUnit.from_workload("li")
+        with pytest.raises(KeyError, match="registered"):
+            driver.get(unit, "no-such-pass")
+
+
+class TestMemoisation:
+    def test_facts_computed_once_per_unit(self):
+        driver = AnalysisDriver()
+        unit = AnalysisUnit.from_workload("li", budget=4_000)
+        first = driver.get(unit, "cfg")
+        second = driver.get(unit, "cfg")
+        assert first is second
+
+    def test_dependencies_resolve_transitively(self):
+        driver = AnalysisDriver()
+        unit = AnalysisUnit.from_workload("compress", budget=4_000)
+        census = driver.get(unit, "census")  # needs cfg + frequencies
+        assert census
+        facts = driver.facts_for(unit)
+        assert "cfg" in facts and "frequencies" in facts
+
+    def test_distinct_units_do_not_share_facts(self):
+        driver = AnalysisDriver()
+        a = AnalysisUnit.from_workload("li", budget=4_000)
+        b = AnalysisUnit.from_workload("li", budget=4_000)
+        assert driver.get(a, "cfg") is not driver.get(b, "cfg")
+
+
+class TestUnits:
+    def test_rl_unit_carries_module_and_program(self):
+        unit = AnalysisUnit.from_rl_source(
+            rl_loop_nest(depth=1, trips=4), name="nest"
+        )
+        assert unit.module is not None
+        assert unit.program is not None
+        assert unit.name == "nest"
+
+    def test_langinfo_none_for_assembly_units(self):
+        driver = AnalysisDriver()
+        unit = AnalysisUnit.from_workload("li")
+        assert driver.get(unit, "langinfo") is None
+
+    def test_langinfo_present_for_rl_units(self):
+        driver = AnalysisDriver()
+        unit = AnalysisUnit.from_rl_source(rl_loop_nest(depth=1, trips=4))
+        assert driver.get(unit, "langinfo") is not None

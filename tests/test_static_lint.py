@@ -1,0 +1,166 @@
+"""``repro lint`` rules over RL sources and assembled programs."""
+
+from __future__ import annotations
+
+from repro.static.lint import (
+    lint_paths,
+    lint_program,
+    lint_source,
+    lint_workloads,
+)
+from repro.vm.assembler import assemble
+
+CLEAN = """
+var total = 0
+
+func main() {
+    var i = 0
+    while (i < 10) {
+        total = total + i
+        i = i + 1
+    }
+    return total
+}
+"""
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestSourceRules:
+    def test_clean_program_has_no_findings(self):
+        assert lint_source(CLEAN) == []
+
+    def test_unused_global(self):
+        findings = lint_source("var ghost = 1\n" + CLEAN)
+        assert "unused-global" in rules(findings)
+
+    def test_write_only_global(self):
+        src = """
+var sink = 0
+
+func main() {
+    sink = 5
+    return 0
+}
+"""
+        assert "write-only-global" in rules(lint_source(src))
+
+    def test_unused_local(self):
+        src = """
+func main() {
+    var dead = 7
+    return 0
+}
+"""
+        assert "unused-local" in rules(lint_source(src))
+
+    def test_unreachable_code(self):
+        src = """
+func main() {
+    return 1
+    return 2
+}
+"""
+        assert "unreachable-code" in rules(lint_source(src))
+
+    def test_zero_trip_loop(self):
+        src = """
+func main() {
+    var i = 0
+    while (0 > 1) { i = i + 1 }
+    return i
+}
+"""
+        assert "zero-trip-loop" in rules(lint_source(src))
+
+    def test_non_terminating_loop(self):
+        src = """
+func main() {
+    var i = 0
+    while (1 > 0) { i = i + 1 }
+    return i
+}
+"""
+        assert "non-terminating-loop" in rules(lint_source(src))
+
+    def test_parse_error_is_a_finding_not_an_exception(self):
+        findings = lint_source("func main() {")
+        assert rules(findings) == ["parse-error"]
+        assert findings[0].line is not None
+
+    def test_lex_error_is_a_finding_too(self):
+        findings = lint_source("@@@")
+        assert rules(findings) == ["parse-error"]
+
+    def test_findings_format_with_location(self):
+        finding = lint_source("var ghost = 1\n" + CLEAN)[0]
+        text = finding.format()
+        assert "unused-global" in text
+        assert ":" in text
+
+
+class TestProgramRules:
+    def test_unreachable_blocks_flagged(self):
+        program = assemble("""
+        .text
+        main:
+            halt
+        dead:
+            addi t0, t0, 1
+            j    dead
+        """)
+        assert "unreachable-code" in rules(lint_program(program))
+
+    def test_clean_loop_program(self):
+        program = assemble("""
+        .text
+        main:
+            li   t0, 0
+            li   t1, 10
+        loop:
+            addi t0, t0, 1
+            blt  t0, t1, loop
+            halt
+        """)
+        assert lint_program(program) == []
+
+
+class TestSuiteIsClean:
+    def test_all_registered_kernels_lint_clean(self):
+        # the 14 kernels ship lint-clean; a new finding means a
+        # kernel edit introduced dead code or a degenerate loop
+        assert lint_workloads() == []
+
+
+class TestPaths:
+    def test_lint_paths_walks_rl_files(self, tmp_path):
+        good = tmp_path / "good.rl"
+        good.write_text(CLEAN)
+        bad = tmp_path / "bad.rl"
+        bad.write_text("var ghost = 1\n" + CLEAN)
+        findings = lint_paths([str(tmp_path)])
+        assert rules(findings) == ["unused-global"]
+        assert findings[0].unit == str(bad)
+
+
+class TestCli:
+    def test_lint_cli_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.rl"
+        bad.write_text("var ghost = 1\n" + CLEAN)
+        assert main(["lint", str(bad)]) == 1
+        assert "unused-global" in capsys.readouterr().out
+
+        good = tmp_path / "good.rl"
+        good.write_text(CLEAN)
+        assert main(["lint", str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_cli_kernels_default(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out

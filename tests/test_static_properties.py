@@ -1,0 +1,118 @@
+"""Property + differential tests for the static estimator.
+
+Two layers of confidence:
+
+* **hypothesis** sweeps the :func:`rl_loop_nest` generator space and
+  asserts every estimate is finite, internally consistent and
+  correctly shaped — the estimator must never blow up or emit NaNs
+  on a program the workload generators can produce.
+* a **differential** pass replays the fixed generated families both
+  statically and dynamically and pins the per-metric error inside the
+  band recorded in ``BENCH_static.json`` (plus the documented check
+  tolerance) — the same contract CI's ``static-validate`` job
+  enforces over the full kernel suite.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exp.config import ExperimentConfig
+from repro.static.estimator import estimate_source
+from repro.static.validate import (
+    CHECK_ABS_TOLERANCE,
+    CHECK_REL_TOLERANCE,
+    _dynamic_profile_for_program,
+    load_bands,
+    profile_errors,
+)
+from repro.workloads.generators import generated_families, rl_loop_nest
+
+CONFIG = ExperimentConfig(max_instructions=8_000)
+
+BANDS_PATH = Path(__file__).resolve().parent.parent / "BENCH_static.json"
+
+
+class TestEstimatorProperties:
+    @given(
+        depth=st.integers(1, 3),
+        trips=st.integers(1, 16),
+        branchiness=st.integers(0, 2),
+        value_period=st.integers(0, 4),
+        array_size=st.integers(1, 24),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_estimates_finite_and_consistent(
+        self, depth, trips, branchiness, value_period, array_size
+    ):
+        source = rl_loop_nest(
+            depth=depth,
+            trips=trips,
+            branchiness=branchiness,
+            value_period=value_period,
+            array_size=array_size,
+        )
+        profile = estimate_source(source, CONFIG, name="prop").profile
+
+        assert profile.dynamic_count > 0
+        assert profile.dynamic_count <= CONFIG.max_instructions * 1.01
+        assert 0.0 <= profile.percent_reusable <= 100.0
+        assert 0 <= profile.trace_count <= profile.dynamic_count
+        assert 0.0 <= profile.avg_trace_size <= profile.dynamic_count
+        for value in (profile.base_ipc_inf, profile.base_ipc_win):
+            assert math.isfinite(value) and value > 0.0
+        assert profile.base_ipc_win <= profile.base_ipc_inf + 1e-9
+        for mapping in (profile.ilr_speedup_inf, profile.tlr_speedup_inf,
+                        profile.tlr_speedup_win_prop):
+            for value in mapping.values():
+                assert math.isfinite(value) and value >= 1.0
+
+    @given(trips=st.integers(1, 16))
+    @settings(max_examples=10, deadline=None)
+    def test_estimates_are_deterministic(self, trips):
+        source = rl_loop_nest(depth=2, trips=trips)
+        first = estimate_source(source, CONFIG, name="det").profile
+        second = estimate_source(source, CONFIG, name="det").profile
+        assert first == second
+
+
+@pytest.mark.skipif(
+    not BANDS_PATH.exists(), reason="BENCH_static.json not generated"
+)
+class TestDifferentialBands:
+    """Static-vs-dynamic error stays inside the recorded bands."""
+
+    @pytest.mark.parametrize(
+        "name,source", generated_families(), ids=[n for n, _ in generated_families()]
+    )
+    def test_family_error_within_recorded_band(self, name, source):
+        from repro.lang.compiler import compile_source
+
+        bands = load_bands(BANDS_PATH)
+        recorded = bands.get("families", {}).get(name)
+        if recorded is None:
+            pytest.skip(f"no recorded band for {name}")
+
+        static = estimate_source(source, CONFIG, name=name).profile
+        dynamic = _dynamic_profile_for_program(
+            compile_source(source, name=name), name, CONFIG
+        )
+        errors = profile_errors(static, dynamic)
+        for metric, value in errors.items():
+            baseline = recorded["errors"].get(metric)
+            if baseline is None:
+                continue
+            allowed = baseline * (1.0 + CHECK_REL_TOLERANCE) + CHECK_ABS_TOLERANCE
+            assert value <= allowed, (
+                f"{name}.{metric}: error {value:.4f} exceeds recorded "
+                f"band {baseline:.4f} (allowed {allowed:.4f})"
+            )
