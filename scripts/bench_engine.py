@@ -28,11 +28,26 @@ pipeline and writes ``BENCH_tracev3.json``:
   the incremental ``TraceWriter``, so this path never materializes
   the trace — plus the on-disk ratio against a v2 (pickled columnar)
   encoding of the same trace;
+- per-kernel ``columns``: a per-column decode micro-benchmark —
+  encoded size, share and decode wall time of every v3 section (the
+  breakdown that located the tomcatv value-column decode anomaly);
 - ``engine``: ``StreamingDataflowEngine`` vs ``FusedDataflowEngine``
   scenario throughput over the standard figure-3..8 scenario set at
   ``--budget``, with a bit-identity check of every ``TimingResult``;
-- exits non-zero when bit-identity fails or the v3-vs-v2 compression
-  ratio drops below the 4x floor on any kernel.
+- exits non-zero when bit-identity fails, when the v3-vs-v2
+  compression ratio drops below the 4x floor on any kernel, or when
+  the slowest kernel decodes more than 3x slower than the fastest
+  (the tomcatv-anomaly regression gate).
+
+With ``--coldpath`` the script benchmarks the cold execute→analyze
+path end to end and writes ``BENCH_coldpath.json``: per kernel, pure
+execution wall time (fresh-process best-of-2), execute+encode wall
+time (the incremental v3 writer), and the tee'd cold run
+(execute+encode+analyze in one drain, cache entry persisted), plus a
+bit/byte-identity check of the tee'd path against write-then-reread
+at ``--verify-budget``.  Ratio gates keep it machine-independent:
+encode overhead (write/exec wall) must stay under 3x and every
+identity check must hold.
 
 Usage::
 
@@ -279,8 +294,20 @@ def bench_tracev3(trace_budget: int, engine_budget: int,
         read_s = time.perf_counter() - start
         assert read_n == n, f"{name}: wrote {n}, read back {read_n}"
 
-        info = trace_v3_info(path)
+        info = trace_v3_info(path, columns=True)
         v3_bytes = info["file_bytes"]
+        total_enc = sum(
+            c["encoded_bytes"] for c in info["columns"].values()) or 1
+        columns = {
+            col: {
+                "encoded_bytes": c["encoded_bytes"],
+                "share": round(c["encoded_bytes"] / total_enc, 4),
+                "decode_seconds": round(c["decode_seconds"], 4),
+                "modes": c["modes"],
+            }
+            for col, c in sorted(info["columns"].items(),
+                                 key=lambda kv: -kv[1]["encoded_bytes"])
+        }
 
         # v2 size of the same trace: pickle the materialized columnar
         # layout into a counting sink (no disk, freed immediately)
@@ -307,16 +334,25 @@ def bench_tracev3(trace_budget: int, engine_budget: int,
             "bytes_per_instruction": round(v3_bytes / n, 3),
             "chunk_compression_ratio": round(info["compression_ratio"], 2),
             "ratio_vs_v2": round(ratio_vs_v2, 2),
+            "columns": columns,
         }
         path.unlink()
 
-    # streaming vs materialized engine throughput + bit-identity
+    reads = [per_kernel[k]["read_instr_per_sec"] for k in kernels]
+    decode_balance = max(reads) / min(reads)
+
+    # streaming vs materialized engine throughput + bit-identity.
+    # Both timers start from a ready trace and end at the full
+    # scenario-set results: the streaming engine derives reusability
+    # flags and spans internally, so the materialized leg must pay
+    # for the same derivation inside its timer or the comparison
+    # charges that work to streaming only.
     trace = run_workload("compress", max_instructions=engine_budget,
                          use_cache=False)
-    reuse = instruction_reusability(trace)
-    spans = maximal_reusable_spans(trace, reuse.flags)
     scens = scenario_set(config)
     start = time.perf_counter()
+    reuse = instruction_reusability(trace)
+    spans = maximal_reusable_spans(trace, reuse.flags)
     fused = FusedDataflowEngine(trace, flags=reuse.flags, spans=spans)
     mat_results = fused.analyze_all(scens)
     mat_s = time.perf_counter() - start
@@ -337,6 +373,7 @@ def bench_tracev3(trace_budget: int, engine_budget: int,
         "trace_budget": trace_budget,
         "codec": per_kernel,
         "min_ratio_vs_v2": round(min_ratio_vs_v2, 2),
+        "decode_balance": round(decode_balance, 2),
         "engine": {
             "kernel": "compress",
             "instructions": engine_budget,
@@ -349,6 +386,121 @@ def bench_tracev3(trace_budget: int, engine_budget: int,
             "bit_identical": bit_identical,
         },
     }
+
+
+#: The cold-path scenario subset: one representative of each fold
+#: family.  The full 24-scenario figure sweep is analysis-bound at any
+#: budget (24 folds dwarf one execution), so the cold-path question —
+#: "does the codec keep up with the machine?" — is asked with a
+#: bounded analysis instead.
+COLDPATH_SCENARIOS = [
+    Scenario("base", window_size=None),
+    Scenario("ilr", window_size=None, latency=1.0),
+    Scenario("tlr", window_size=256, latency=1.0),
+]
+
+
+def bench_coldpath(trace_budget: int, verify_budget: int,
+                   tmpdir: str) -> dict:
+    """Cold execute→analyze benchmark (``--coldpath``)."""
+    from repro.dataflow.streaming import StreamingDataflowEngine
+    from repro.vm.tracestream import ExecutionChunkStream, write_stream
+    from repro.workloads.base import stream_workload
+
+    tmp = pathlib.Path(tmpdir)
+    kernels = ("compress", "tomcatv", "go")
+    per_kernel = {}
+    all_identical = True
+    max_encode_overhead = 0.0
+    for name in kernels:
+        # leg 1: pure execution (fresh-process best-of-2)
+        n, exec_s = _timed_run("fast", name, trace_budget)
+
+        # leg 2: execute + encode through the incremental writer
+        path = tmp / f"{name}.coldpath.trace"
+        stream = ExecutionChunkStream(
+            lambda name=name: FastMachine(build_program(name)),
+            program_name=name, max_instructions=trace_budget)
+        start = time.perf_counter()
+        wrote = write_stream(stream, path)
+        write_s = time.perf_counter() - start
+        path.unlink()
+        assert wrote == n, f"{name}: executed {n}, wrote {wrote}"
+
+        # leg 3: the tee'd cold run — execute + encode + analyze in
+        # one drain, cache entry persisted as a side effect
+        os.environ["REPRO_CACHE_DIR"] = str(tmp / "cold" / name)
+        start = time.perf_counter()
+        tee = stream_workload(name, max_instructions=trace_budget,
+                              backend="fast", direct=True)
+        engine = StreamingDataflowEngine(tee)
+        engine.analyze_all(COLDPATH_SCENARIOS)
+        cold_s = time.perf_counter() - start
+        persisted = bool(getattr(tee, "persisted", False))
+
+        # identity: tee'd == write-then-reread == materialized fused,
+        # and the two cache entries are the same bytes — at a budget
+        # small enough to hold the materialized trace
+        os.environ["REPRO_CACHE_DIR"] = str(tmp / "va" / name)
+        direct_res = StreamingDataflowEngine(
+            stream_workload(name, max_instructions=verify_budget,
+                            backend="fast", direct=True)
+        ).analyze_all(COLDPATH_SCENARIOS)
+        (entry_a,) = (tmp / "va" / name / "traces").glob("*.trace")
+        os.environ["REPRO_CACHE_DIR"] = str(tmp / "vb" / name)
+        legacy_res = StreamingDataflowEngine(
+            stream_workload(name, max_instructions=verify_budget,
+                            backend="fast", direct=False)
+        ).analyze_all(COLDPATH_SCENARIOS)
+        (entry_b,) = (tmp / "vb" / name / "traces").glob("*.trace")
+        trace = FastMachine(build_program(name)).run(
+            max_instructions=verify_budget)
+        reuse = instruction_reusability(trace)
+        spans = maximal_reusable_spans(trace, reuse.flags)
+        fused_res = FusedDataflowEngine(
+            trace, flags=reuse.flags, spans=spans,
+        ).analyze_all(COLDPATH_SCENARIOS)
+        del trace, reuse, spans
+        gc.collect()
+        identical = (direct_res == legacy_res == fused_res
+                     and entry_a.read_bytes() == entry_b.read_bytes())
+        all_identical = all_identical and identical and persisted
+
+        encode_overhead = write_s / exec_s
+        max_encode_overhead = max(max_encode_overhead, encode_overhead)
+        per_kernel[name] = {
+            "instructions": n,
+            "exec_seconds": round(exec_s, 4),
+            "exec_instr_per_sec": round(n / exec_s),
+            "write_seconds": round(write_s, 4),
+            "write_instr_per_sec": round(n / write_s),
+            "cold_seconds": round(cold_s, 4),
+            "cold_instr_per_sec": round(n / cold_s),
+            "encode_overhead_vs_exec": round(encode_overhead, 3),
+            "cold_vs_exec": round(cold_s / exec_s, 3),
+            "analyze_seconds": round(cold_s - write_s, 4),
+            "bit_identical": identical,
+            "tee_persisted": persisted,
+        }
+
+    return {
+        "kernels": list(kernels),
+        "trace_budget": trace_budget,
+        "verify_budget": verify_budget,
+        "scenarios": len(COLDPATH_SCENARIOS),
+        "codec_threads": _codec_threads(),
+        "protocol": ("exec: best-of-2 fresh process; write/cold: one "
+                     "in-process run each"),
+        "per_kernel": per_kernel,
+        "max_encode_overhead_vs_exec": round(max_encode_overhead, 3),
+        "bit_identical": all_identical,
+    }
+
+
+def _codec_threads() -> int:
+    from repro.vm.tracev3 import codec_threads
+
+    return codec_threads()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -378,6 +530,11 @@ def main(argv: list[str] | None = None) -> int:
              "(writes BENCH_tracev3.json)",
     )
     parser.add_argument(
+        "--coldpath", action="store_true",
+        help="benchmark the cold execute→analyze path instead "
+             "(writes BENCH_coldpath.json)",
+    )
+    parser.add_argument(
         "--trace-budget", type=int,
         default=int(os.environ.get("REPRO_BENCH_TRACE_BUDGET",
                                    "50000000")),
@@ -391,7 +548,38 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        args.output = "BENCH_tracev3.json" if args.tracev3 else "BENCH_engine.json"
+        if args.coldpath:
+            args.output = "BENCH_coldpath.json"
+        elif args.tracev3:
+            args.output = "BENCH_tracev3.json"
+        else:
+            args.output = "BENCH_engine.json"
+
+    if args.coldpath:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+            os.environ["REPRO_CACHE_DIR"] = tmp
+            report = {
+                "coldpath": bench_coldpath(
+                    args.trace_budget,
+                    min(args.verify_budget, 200_000),
+                    tmp,
+                ),
+            }
+        out = pathlib.Path(args.output)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
+        print(f"\nwritten to {out}", file=sys.stderr)
+        cp = report["coldpath"]
+        ok = True
+        if not cp["bit_identical"]:
+            print("FAIL: the tee'd cold path is not bit/byte-identical "
+                  "to write-then-reread", file=sys.stderr)
+            ok = False
+        if cp["max_encode_overhead_vs_exec"] > 3.0:
+            print(f"FAIL: encoding overhead exceeds 3x pure execution "
+                  f"({cp['max_encode_overhead_vs_exec']}x)", file=sys.stderr)
+            ok = False
+        return 0 if ok else 1
 
     if args.tracev3:
         with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
@@ -416,6 +604,11 @@ def main(argv: list[str] | None = None) -> int:
         if tv["min_ratio_vs_v2"] < 4.0:
             print(f"FAIL: v3 compression ratio vs v2 fell below the 4x "
                   f"floor ({tv['min_ratio_vs_v2']}x)", file=sys.stderr)
+            ok = False
+        if tv["decode_balance"] > 3.0:
+            print(f"FAIL: slowest kernel decodes {tv['decode_balance']}x "
+                  f"slower than the fastest (tomcatv-anomaly gate is 3x)",
+                  file=sys.stderr)
             ok = False
         return 0 if ok else 1
 

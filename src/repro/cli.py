@@ -320,8 +320,11 @@ def _cmd_cache(args) -> int:
 def _cmd_trace(args) -> int:
     from repro.vm.tracefile import TraceFileError, trace_file_info
 
+    want_columns = getattr(args, "columns", False)
+    want_chunks = getattr(args, "chunks", False)
     try:
-        info = trace_file_info(args.path)
+        info = trace_file_info(args.path, columns=want_columns,
+                               per_chunk=want_chunks)
     except (TraceFileError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -341,6 +344,46 @@ def _cmd_trace(args) -> int:
         rows.append(["compressed bytes", info["compressed_bytes"]])
         rows.append(["compression", f"{info['compression_ratio']:.1f}x"])
     print(format_table(["field", "value"], rows, title=info["path"]))
+    if (want_columns or want_chunks) and info["chunk_count"] is None:
+        print("(per-column/per-chunk breakdowns need a v3 file)")
+        return 0
+    if want_columns:
+        total = sum(c["encoded_bytes"] for c in info["columns"].values()) or 1
+        print()
+        print(format_table(
+            ["column", "encoded bytes", "share", "decode ms", "modes"],
+            [
+                [
+                    name,
+                    stats["encoded_bytes"],
+                    f"{100 * stats['encoded_bytes'] / total:.1f}%",
+                    f"{1000 * stats['decode_seconds']:.1f}",
+                    ",".join(sorted(stats["modes"])),
+                ]
+                for name, stats in sorted(
+                    info["columns"].items(),
+                    key=lambda kv: -kv[1]["encoded_bytes"],
+                )
+            ],
+            title="per-column breakdown",
+        ))
+    if want_chunks:
+        print()
+        print(format_table(
+            ["chunk", "instr", "encoded", "compressed", "ratio", "decode ms"],
+            [
+                [
+                    c["chunk"],
+                    c["instructions"],
+                    c["encoded_bytes"],
+                    c["compressed_bytes"],
+                    f"{c['compression_ratio']:.1f}x",
+                    f"{1000 * c['decode_seconds']:.1f}",
+                ]
+                for c in info["chunks"]
+            ],
+            title="per-chunk breakdown",
+        ))
     return 0
 
 
@@ -691,6 +734,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr = sub.add_parser("trace", help="inspect a saved trace file")
     p_tr.add_argument("action", choices=["info"])
     p_tr.add_argument("path", help="path to a .trace file (v1/v2/v3)")
+    p_tr.add_argument("--columns", action="store_true",
+                      help="decode the file and report per-column "
+                      "encoded size, decode time and codec mode (v3)")
+    p_tr.add_argument("--chunks", action="store_true",
+                      help="report per-chunk size/ratio/decode-time "
+                      "breakdowns (v3)")
 
     p_obs = sub.add_parser("obs", help="inspect recorded run manifests")
     p_obs.add_argument("action", choices=["list", "show"])
@@ -802,7 +851,15 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout went away mid-report (e.g. piped into ``head``); the
+        # conventional quiet exit, with stdout detached so the
+        # interpreter's shutdown flush cannot raise again
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,11 +16,17 @@ The streaming engine reproduces the same float operations in the same
 order by cutting the stream into **blocks** and carrying three pieces
 of state across block boundaries:
 
-- ``carry[loc]`` — the completion time of the last writer of ``loc``
-  as of block start.  In-block producer references stay list indices;
-  a read whose producer lies in an earlier block is encoded as
-  ``~loc`` and resolved through ``carry`` (a miss contributes ``0.0``,
-  exactly as a never-written location does in the fused engine).
+- the completion time of the last writer of each location as of
+  block start.  In-block producer references stay list indices; a
+  read whose producer lies in an earlier block is encoded as
+  ``~slot``, where the engine-wide slot table interns each location
+  the first time it crosses a block boundary, and resolved as a flat
+  ``vals[slot]`` list index per scenario (a never-written slot holds
+  ``0.0``, exactly as a never-written location does in the fused
+  engine).  The slot indirection makes the cross-block resolution a
+  list index instead of a dict probe, and lets the block-end state
+  update — shared ``(slot, producer)`` pairs computed once — replace
+  the per-scenario dict stores of a naive carry table.
 - the window ring (``ring``/``room``/``idx``/``grad``) of each
   windowed scenario, carried verbatim.
 - the instruction-level reuse history (``pc -> input signatures``),
@@ -46,6 +52,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.stats import TraceIOStats
 from repro.core.traces import _span_from_columnar
@@ -82,14 +90,16 @@ class _ScenarioState:
     """Per-scenario fold state carried across blocks."""
 
     __slots__ = (
-        "scenario", "window", "carry", "ring", "room", "idx", "grad",
+        "scenario", "window", "vals", "ring", "room", "idx", "grad",
         "best", "reused",
     )
 
     def __init__(self, scenario: Scenario):
         self.scenario = scenario
         self.window = scenario.window_size
-        self.carry: dict[int, float] = {}
+        #: completion time per engine slot (grown lazily; slot order is
+        #: engine-wide, so every scenario's list lines up)
+        self.vals: list[float] = []
         self.ring: list[float] = []
         self.room = self.window or 0
         self.idx = 0
@@ -103,7 +113,7 @@ class _Block:
 
     __slots__ = (
         "n", "lats", "flags", "prods", "span_ids", "gate_refs",
-        "span_io", "writer",
+        "span_io",
     )
 
 
@@ -129,6 +139,9 @@ class StreamingDataflowEngine:
     def __init__(self, traceish, *,
                  chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
         self._stream = as_chunk_stream(traceish, chunk_size=chunk_size)
+        #: location -> slot interning table for cross-block producer
+        #: references (shared by every scenario's ``vals`` list)
+        self._slots: dict[int, int] = {}
         self.n = 0
         self.reuse: StreamReusability | None = None
         self.span_count = 0
@@ -147,6 +160,7 @@ class StreamingDataflowEngine:
         """Evaluate every scenario in one pass; order matches the input."""
         states = [_ScenarioState(s) for s in scenarios]
         # reset accumulators (the stream is re-iterable, so is this)
+        self._slots = {}
         self.n = 0
         self.span_count = 0
         self.span_covered = 0
@@ -166,7 +180,10 @@ class StreamingDataflowEngine:
             if not nc:
                 continue
             # incremental instruction-level reusability: same signature
-            # construction as _columnar_reusability, history persistent
+            # construction as _columnar_reusability, history persistent.
+            # Deliberately scalar: Python set membership treats 1 and
+            # 1.0 as the same signature, which any bit-level batch
+            # encoding of the value columns would split.
             cflags = bytearray(nc)
             pcs = chunk.pcs
             rb, rl, rv = chunk.read_bounds, chunk.read_locs, chunk.read_vals
@@ -275,18 +292,14 @@ class StreamingDataflowEngine:
     def _process_block(self, block: ColumnarTrace, flags: bytearray,
                        states: list[_ScenarioState]) -> None:
         n = len(block)
-        # maximal reusable runs — wholly contained by construction
-        runs: list[tuple[int, int]] = []
-        start: int | None = None
-        for i, flag in enumerate(flags):
-            if flag:
-                if start is None:
-                    start = i
-            elif start is not None:
-                runs.append((start, i))
-                start = None
-        if start is not None:
-            runs.append((start, n))
+        # maximal reusable runs — wholly contained by construction;
+        # batch-extracted from the flag bytes (a zero-padded diff turns
+        # every 0->1 edge into a start and every 1->0 edge into an end)
+        bounded = np.zeros(n + 2, np.int8)
+        bounded[1:-1] = np.frombuffer(flags, np.uint8)
+        edges = np.diff(bounded)
+        runs = list(zip(np.flatnonzero(edges == 1).tolist(),
+                        np.flatnonzero(edges == -1).tolist()))
 
         span_inlocs: list[tuple[int, ...]] = []
         span_io: list[tuple[int, int]] = []
@@ -306,9 +319,11 @@ class StreamingDataflowEngine:
                     self._span_reg_out += 1
 
         # producer references: in-block producers are list indices,
-        # earlier-block producers are encoded as ~loc and resolved
-        # through each scenario's carry table (same shapes as the fused
-        # engine: bare ref, pair tuple, None, dedup'd list)
+        # earlier-block producers are encoded as ~slot (the engine-wide
+        # interning of the location) and resolved as a flat list index
+        # per scenario (same shapes as the fused engine: bare ref, pair
+        # tuple, None, dedup'd list)
+        slots = self._slots
         writer: dict[int, int] = {}
         writer_get = writer.get
         prods: list = []
@@ -329,7 +344,7 @@ class StreamingDataflowEngine:
                 for loc in span_inlocs[next_sid]:
                     p = writer_get(loc)
                     if p is None:
-                        p = ~loc
+                        p = ~slots.setdefault(loc, len(slots))
                     if p not in gp:
                         gp.append(p)
                 gate_refs.append(tuple(gp))
@@ -337,17 +352,20 @@ class StreamingDataflowEngine:
                 next_start = runs[next_sid][0] if next_sid < len(runs) else -1
             b = rb[j + 1]
             if b - a == 1:
-                p = writer_get(rl[a])
-                prods_append(p if p is not None else ~rl[a])
+                loc1 = rl[a]
+                p = writer_get(loc1)
+                if p is None:
+                    p = ~slots.setdefault(loc1, len(slots))
+                prods_append(p)
             elif b - a == 2:
                 loc1 = rl[a]
                 loc2 = rl[a + 1]
                 p1 = writer_get(loc1)
                 if p1 is None:
-                    p1 = ~loc1
+                    p1 = ~slots.setdefault(loc1, len(slots))
                 p2 = writer_get(loc2)
                 if p2 is None:
-                    p2 = ~loc2
+                    p2 = ~slots.setdefault(loc2, len(slots))
                 if p1 == p2:
                     prods_append(p1)
                 else:
@@ -360,7 +378,7 @@ class StreamingDataflowEngine:
                     loc = rl[idx]
                     p = writer_get(loc)
                     if p is None:
-                        p = ~loc
+                        p = ~slots.setdefault(loc, len(slots))
                     if p not in ps:
                         ps.append(p)
                 if len(ps) == 1:
@@ -383,9 +401,21 @@ class StreamingDataflowEngine:
         pre.span_ids = span_ids
         pre.gate_refs = gate_refs
         pre.span_io = span_io
-        pre.writer = writer
+
+        # block-end state update, computed once and shared by every
+        # scenario: intern each written location and pair its slot with
+        # the in-block index of its last writer
+        slot_updates = [
+            (slots.setdefault(loc, len(slots)), jj)
+            for loc, jj in writer.items()
+        ]
+        nslots = len(slots)
 
         for st in states:
+            vals = st.vals
+            if len(vals) < nslots:
+                # new slots start at 0.0 — the never-written default
+                vals.extend([0.0] * (nslots - len(vals)))
             kind = st.scenario.kind
             if kind == "base":
                 comp = self._fold_base(st, pre)
@@ -393,30 +423,29 @@ class StreamingDataflowEngine:
                 comp = self._fold_ilr(st, pre)
             else:
                 comp = self._fold_tlr(st, pre)
-            carry = st.carry
-            for loc, jj in writer.items():
-                carry[loc] = comp[jj]
+            for slot, jj in slot_updates:
+                vals[slot] = comp[jj]
 
     # ------------------------------------------------------------------
     # scenario folds — each mirrors the corresponding fused-engine pass
     # branch for branch; ``s`` resolution additionally routes negative
-    # refs through the carry table
+    # refs through the slot-indexed ``vals`` list
     # ------------------------------------------------------------------
     def _fold_base(self, st: _ScenarioState, pre: _Block) -> list[float]:
         comp: list[float] = []
         append = comp.append
-        carry_get = st.carry.get
+        vals = st.vals
         window = st.window
         best = st.best
         if not window:
             for p, lat in zip(pre.prods, pre.lats):
                 if type(p) is int:
-                    s = comp[p] if p >= 0 else carry_get(~p, 0.0)
+                    s = comp[p] if p >= 0 else vals[~p]
                 elif type(p) is tuple:
                     q = p[0]
-                    s = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    s = comp[q] if q >= 0 else vals[~q]
                     q = p[1]
-                    t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    t = comp[q] if q >= 0 else vals[~q]
                     if t > s:
                         s = t
                 elif p is None:
@@ -424,7 +453,7 @@ class StreamingDataflowEngine:
                 else:
                     s = 0.0
                     for q in p:
-                        t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                        t = comp[q] if q >= 0 else vals[~q]
                         if t > s:
                             s = t
                 c = s + lat
@@ -439,12 +468,12 @@ class StreamingDataflowEngine:
             idx = st.idx
             for p, lat in zip(pre.prods, pre.lats):
                 if type(p) is int:
-                    s = comp[p] if p >= 0 else carry_get(~p, 0.0)
+                    s = comp[p] if p >= 0 else vals[~p]
                 elif type(p) is tuple:
                     q = p[0]
-                    s = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    s = comp[q] if q >= 0 else vals[~q]
                     q = p[1]
-                    t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    t = comp[q] if q >= 0 else vals[~q]
                     if t > s:
                         s = t
                 elif p is None:
@@ -452,7 +481,7 @@ class StreamingDataflowEngine:
                 else:
                     s = 0.0
                     for q in p:
-                        t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                        t = comp[q] if q >= 0 else vals[~q]
                         if t > s:
                             s = t
                 if room:
@@ -484,7 +513,7 @@ class StreamingDataflowEngine:
     def _fold_ilr(self, st: _ScenarioState, pre: _Block) -> list[float]:
         comp: list[float] = []
         append = comp.append
-        carry_get = st.carry.get
+        vals = st.vals
         window = st.window
         latency = st.scenario.latency
         best = st.best
@@ -492,12 +521,12 @@ class StreamingDataflowEngine:
         if not window:
             for p, lat, flag in zip(pre.prods, pre.lats, pre.flags):
                 if type(p) is int:
-                    s = comp[p] if p >= 0 else carry_get(~p, 0.0)
+                    s = comp[p] if p >= 0 else vals[~p]
                 elif type(p) is tuple:
                     q = p[0]
-                    s = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    s = comp[q] if q >= 0 else vals[~q]
                     q = p[1]
-                    t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    t = comp[q] if q >= 0 else vals[~q]
                     if t > s:
                         s = t
                 elif p is None:
@@ -505,7 +534,7 @@ class StreamingDataflowEngine:
                 else:
                     s = 0.0
                     for q in p:
-                        t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                        t = comp[q] if q >= 0 else vals[~q]
                         if t > s:
                             s = t
                 c = s + lat
@@ -525,12 +554,12 @@ class StreamingDataflowEngine:
             idx = st.idx
             for p, lat, flag in zip(pre.prods, pre.lats, pre.flags):
                 if type(p) is int:
-                    s = comp[p] if p >= 0 else carry_get(~p, 0.0)
+                    s = comp[p] if p >= 0 else vals[~p]
                 elif type(p) is tuple:
                     q = p[0]
-                    s = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    s = comp[q] if q >= 0 else vals[~q]
                     q = p[1]
-                    t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    t = comp[q] if q >= 0 else vals[~q]
                     if t > s:
                         s = t
                 elif p is None:
@@ -538,7 +567,7 @@ class StreamingDataflowEngine:
                 else:
                     s = 0.0
                     for q in p:
-                        t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                        t = comp[q] if q >= 0 else vals[~q]
                         if t > s:
                             s = t
                 if room:
@@ -593,7 +622,7 @@ class StreamingDataflowEngine:
             span_lats = [scenario.latency] * len(pre.span_io)
         comp: list[float] = []
         append = comp.append
-        carry_get = st.carry.get
+        vals = st.vals
         window = st.window
         fetch_free = scenario.fetch_free
         gate_refs = pre.gate_refs
@@ -605,12 +634,12 @@ class StreamingDataflowEngine:
         if not window:
             for p, lat, sid in zip(pre.prods, pre.lats, span_ids):
                 if type(p) is int:
-                    s = comp[p] if p >= 0 else carry_get(~p, 0.0)
+                    s = comp[p] if p >= 0 else vals[~p]
                 elif type(p) is tuple:
                     q = p[0]
-                    s = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    s = comp[q] if q >= 0 else vals[~q]
                     q = p[1]
-                    t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    t = comp[q] if q >= 0 else vals[~q]
                     if t > s:
                         s = t
                 elif p is None:
@@ -618,7 +647,7 @@ class StreamingDataflowEngine:
                 else:
                     s = 0.0
                     for q in p:
-                        t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                        t = comp[q] if q >= 0 else vals[~q]
                         if t > s:
                             s = t
                 c = s + lat
@@ -626,7 +655,7 @@ class StreamingDataflowEngine:
                     if sid != cur_sid:
                         g = 0.0
                         for q in gate_refs[sid]:
-                            t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                            t = comp[q] if q >= 0 else vals[~q]
                             if t > g:
                                 g = t
                         cur_sid = sid
@@ -646,12 +675,12 @@ class StreamingDataflowEngine:
             idx = st.idx
             for p, lat, sid in zip(pre.prods, pre.lats, span_ids):
                 if type(p) is int:
-                    s = comp[p] if p >= 0 else carry_get(~p, 0.0)
+                    s = comp[p] if p >= 0 else vals[~p]
                 elif type(p) is tuple:
                     q = p[0]
-                    s = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    s = comp[q] if q >= 0 else vals[~q]
                     q = p[1]
-                    t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                    t = comp[q] if q >= 0 else vals[~q]
                     if t > s:
                         s = t
                 elif p is None:
@@ -659,14 +688,14 @@ class StreamingDataflowEngine:
                 else:
                     s = 0.0
                     for q in p:
-                        t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                        t = comp[q] if q >= 0 else vals[~q]
                         if t > s:
                             s = t
                 if sid >= 0:
                     if sid != cur_sid:
                         g = 0.0
                         for q in gate_refs[sid]:
-                            t = comp[q] if q >= 0 else carry_get(~q, 0.0)
+                            t = comp[q] if q >= 0 else vals[~q]
                             if t > g:
                                 g = t
                         cur_sid = sid

@@ -27,6 +27,9 @@ _NON_SEMANTIC_FIELDS = frozenset({
     # (differential-tested), so these change memory/wall-clock only
     "streaming",
     "stream_chunk_size",
+    # the tee'd execute→analyze path produces the same cache entry and
+    # the same profile as write-then-reread (differential-tested)
+    "direct_stream",
 })
 
 
@@ -69,6 +72,10 @@ class ExperimentConfig:
     #: instructions per chunk for the streaming pipeline (None = the
     #: tracestream default)
     stream_chunk_size: int | None = None
+    #: feed execution chunks straight into the streaming analysis while
+    #: a background writer persists the cache entry (the tee'd cold
+    #: path); None defers to ``REPRO_DIRECT_STREAM`` and then on
+    direct_stream: bool | None = None
     #: answer profiles from the simulation-free static estimator
     #: (:mod:`repro.static`) instead of executing — a tier-0 path with
     #: documented per-kernel error bands (``BENCH_static.json``).

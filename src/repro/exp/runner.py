@@ -221,6 +221,7 @@ def run_profile_streaming(
             use_cache=config.use_cache,
             backend=config.backend,
             chunk_size=config.stream_chunk_size,
+            direct=config.direct_stream,
         )
     with obs.time_stage("stage.engine_init"):
         if config.stream_chunk_size is not None:

@@ -431,6 +431,72 @@ def store_cached_trace_stream(
     return written
 
 
+def tee_cached_trace_stream(
+    name: str,
+    scale: int,
+    max_instructions: int | None,
+    source_text: str,
+    stream,
+    backend: str = "interp",
+):
+    """Wrap an execution stream so its first drain *also* persists the
+    trace into the cache — the direct execute→analyze cold path.
+
+    The consumer analyzes segments as the machine produces them while
+    a :class:`~repro.vm.tracev3.TraceWriter` (threaded when
+    ``REPRO_CODEC_THREADS`` allows) writes the same segments to a
+    pid-tagged temp file; a complete drain publishes it under the
+    per-entry lock with the same atomic ``os.replace`` as
+    :func:`store_cached_trace_stream`, and later drains replay from
+    the published entry.  An abandoned or failed drain discards the
+    temp file and publishes nothing.  Racing writers of the same key
+    are safe: contents are identical by construction, and a live
+    writer's pid-tagged temp is never reaped.
+
+    With the cache disabled the stream is returned unchanged.
+    """
+    if not cache_enabled():
+        return stream
+    from repro.vm.tracestream import FileTraceStream, TeeChunkStream
+    from repro.vm.tracev3 import TraceWriter
+
+    _open_store()
+    path = trace_path(name, scale, max_instructions, source_text, backend)
+
+    def open_writer():
+        try:
+            tmp = fslock.make_tmp(path.parent, path.name)
+            return TraceWriter(tmp, program_name=stream.program_name), tmp
+        except OSError as exc:
+            _log.warning("trace cache tee disabled (%s); analyzing "
+                         "without persisting", exc)
+            return None
+
+    def commit(writer, tmp, source):
+        try:
+            writer.close(halted=source.halted, truncated=source.truncated)
+            with _entry_lock(path):
+                os.replace(tmp, path)
+        except (OSError, TraceFileError) as exc:
+            _log.warning("trace cache tee publish failed for %s (%s)",
+                         path, exc)
+            writer.abort()
+            tmp.unlink(missing_ok=True)
+            return None
+        incr("trace_cache.store")
+        try:
+            return FileTraceStream(path)
+        except (TraceFileError, OSError):  # entry raced away / damaged
+            return None
+
+    def abort(writer, tmp):
+        writer.abort()
+        tmp.unlink(missing_ok=True)
+
+    return TeeChunkStream(stream, open_writer=open_writer, commit=commit,
+                          abort=abort)
+
+
 # ----------------------------------------------------------------------
 # profile layer
 # ----------------------------------------------------------------------

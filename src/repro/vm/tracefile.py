@@ -226,12 +226,15 @@ def load_trace(path: str | pathlib.Path) -> AnyTrace:
     )
 
 
-def trace_file_info(path: str | pathlib.Path) -> dict:
+def trace_file_info(path: str | pathlib.Path, *, columns: bool = False,
+                    per_chunk: bool = False) -> dict:
     """Structural stats of any trace file (``repro trace info``).
 
-    v3 files report chunk/encoding stats from the footer alone; v1/v2
-    files are loaded to count instructions (they are materialized
-    formats, so reading them costs what using them costs).
+    v3 files report chunk/encoding stats from the footer alone —
+    ``columns``/``per_chunk`` additionally decode the file for
+    per-column and per-chunk size/time breakdowns; v1/v2 files are
+    loaded to count instructions (they are materialized formats, so
+    reading them costs what using them costs).
     """
     path = pathlib.Path(path)
     file_bytes = path.stat().st_size
@@ -243,7 +246,7 @@ def trace_file_info(path: str | pathlib.Path) -> dict:
     if prefix == MAGIC_V3:
         from repro.vm.tracev3 import trace_v3_info
 
-        return trace_v3_info(path)
+        return trace_v3_info(path, columns=columns, per_chunk=per_chunk)
     trace = load_trace(path)
     version = "v2" if prefix == MAGIC_V2 else "v1"
     count = len(trace)

@@ -35,6 +35,7 @@ Three concrete streams cover the pipeline:
 
 from __future__ import annotations
 
+import os
 import pathlib
 from collections.abc import Callable, Iterator
 
@@ -49,6 +50,22 @@ from repro.vm.trace import (
 
 #: Default instructions per chunk when re-slicing or executing.
 DEFAULT_CHUNK_SIZE = 65536
+
+#: Opt-out switch for the tee'd execute→analyze cold path
+#: (``REPRO_DIRECT_STREAM=0`` forces the write-then-reread path).
+DIRECT_STREAM_ENV = "REPRO_DIRECT_STREAM"
+
+
+def direct_stream_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the direct-stream knob: explicit argument, then the
+    ``REPRO_DIRECT_STREAM`` environment variable, then on by default
+    (both paths are bit-identical; direct is strictly less work)."""
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get(DIRECT_STREAM_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
 
 
 def run_chunks(machine, max_instructions: int | None = None, *,
@@ -172,6 +189,81 @@ class ExecutionChunkStream:
         self.count = total
 
 
+class TeeChunkStream:
+    """A chunk stream whose first drain is *tee'd* into a trace writer.
+
+    Wraps a source stream (typically an :class:`ExecutionChunkStream`)
+    so that the first ``chunks()`` drain yields every segment to the
+    consumer *and* feeds the same segment to a
+    :class:`~repro.vm.tracev3.TraceWriter` as it streams past — the
+    direct execute→analyze path: one execution produces both the
+    analysis input and the persisted trace, with no
+    serialize-then-reread round trip.
+
+    The writer lifecycle is delegated to three callbacks so the cache
+    layer owns its own locking/atomic-publish rules:
+
+    - ``open_writer()`` → ``(writer, token)`` — create the writer
+      (e.g. on a pid-tagged temp path); may return ``None`` to
+      disable teeing for this drain.
+    - ``commit(writer, token, source)`` — called after a complete
+      drain; closes the writer, publishes the file, and may return a
+      replacement stream (e.g. a ``FileTraceStream`` over the
+      published entry) that serves every later ``chunks()`` call.
+    - ``abort(writer, token)`` — called when the drain dies or the
+      consumer abandons the iterator; must discard the partial file.
+
+    An incomplete drain publishes nothing; the next ``chunks()`` call
+    simply re-runs the source.  Segments are handed to the writer
+    *by reference* — the no-copy invariant means neither the consumer
+    nor the source may mutate a yielded segment.
+    """
+
+    def __init__(self, source, *, open_writer, commit, abort) -> None:
+        self._source = source
+        self._open_writer = open_writer
+        self._commit = commit
+        self._abort = abort
+        self._replay = None
+        self.program_name = source.program_name
+        self.halted = source.halted
+        self.truncated = source.truncated
+        self.count: int | None = source.count
+
+    @property
+    def persisted(self) -> bool:
+        """True once a complete drain has published the trace."""
+        return self._replay is not None
+
+    def chunks(self) -> Iterator[ColumnarTrace]:
+        if self._replay is not None:
+            yield from self._replay.chunks()
+            return
+        opened = self._open_writer()
+        if opened is None:
+            yield from self._source.chunks()
+            self._sync_meta(self._source)
+            return
+        writer, token = opened
+        done = False
+        try:
+            for segment in self._source.chunks():
+                writer.write_segment(segment)
+                yield segment
+            done = True
+        finally:
+            if not done:
+                self._abort(writer, token)
+        self._sync_meta(self._source)
+        self._replay = self._commit(writer, token, self._source)
+
+    def _sync_meta(self, stream) -> None:
+        self.program_name = stream.program_name
+        self.halted = stream.halted
+        self.truncated = stream.truncated
+        self.count = stream.count
+
+
 def is_chunk_stream(obj) -> bool:
     """True when ``obj`` follows the chunk-stream protocol."""
     return callable(getattr(obj, "chunks", None))
@@ -222,21 +314,27 @@ def stream_length(traceish) -> int | None:
 
 def write_stream(stream, path: str | pathlib.Path, *,
                  chunk_size: int | None = None,
-                 compresslevel: int = 6) -> int:
+                 compresslevel: int | None = None,
+                 threads: int | None = None) -> int:
     """Drain a chunk stream into a v3 file; returns instructions written.
 
     The writer re-chunks to its own ``chunk_size``, so the output
     layout is independent of the source segmentation.
     """
-    from repro.vm.tracev3 import DEFAULT_CHUNK_SIZE as V3_CHUNK
-    from repro.vm.tracev3 import TraceWriter
+    from repro.vm.tracev3 import (
+        DEFAULT_CHUNK_SIZE as V3_CHUNK,
+        DEFAULT_COMPRESSLEVEL,
+        TraceWriter,
+    )
 
     stream = as_chunk_stream(stream)
     writer = TraceWriter(
         path,
         program_name=getattr(stream, "program_name", "<anonymous>"),
         chunk_size=chunk_size if chunk_size is not None else V3_CHUNK,
-        compresslevel=compresslevel,
+        compresslevel=(compresslevel if compresslevel is not None
+                       else DEFAULT_COMPRESSLEVEL),
+        threads=threads,
     )
     try:
         for segment in stream.chunks():

@@ -48,13 +48,17 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import pathlib
 import pickle
 import struct
 import sys
 import zlib
 from array import array
+from collections import deque
 from collections.abc import Iterator
+from concurrent.futures import ThreadPoolExecutor
+from itertools import compress
 from typing import NamedTuple
 
 import numpy as np
@@ -76,6 +80,12 @@ _TAIL_LEN = 8 + len(TAIL_MAGIC)
 #: the few-MB range while amortizing the per-frame codec/deflate cost.
 DEFAULT_CHUNK_SIZE = 65536
 
+#: Default zlib level for chunk frames.  Trace chunks are so
+#: repetitive that level 3 already compresses them ~11x; level 6 buys
+#: ~30% more size for ~2.5x the deflate time, which matters once the
+#: codec is the cold-path bottleneck.
+DEFAULT_COMPRESSLEVEL = 3
+
 _LE = sys.byteorder == "little"
 
 # Column encoding modes: 1/2/4/8 = fixed little-endian byte width of
@@ -85,6 +95,31 @@ _LE = sys.byteorder == "little"
 _MODE_VARINT = 0xFF
 _VMODE_COLUMNS = 0
 _VMODE_PICKLE = 1
+
+#: Pool size for the pipelined codec (writer compression / reader
+#: prefetch).  ``0`` runs everything inline on the caller's thread.
+CODEC_THREADS_ENV = "REPRO_CODEC_THREADS"
+
+
+def codec_threads() -> int:
+    """Resolve the codec thread-pool size.
+
+    ``REPRO_CODEC_THREADS`` wins when set (0 disables the pool);
+    otherwise single-CPU hosts stay serial — zlib releases the GIL,
+    but a pool buys nothing without a second core — and multi-core
+    hosts get a small pool that overlaps compression with execution.
+    """
+    raw = os.environ.get(CODEC_THREADS_ENV)
+    if raw is not None:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-linux
+        cpus = os.cpu_count() or 1
+    return 0 if cpus <= 1 else min(4, cpus - 1)
 
 
 # ----------------------------------------------------------------------
@@ -192,15 +227,37 @@ def _col_i64(col) -> np.ndarray:
     return col if isinstance(col, np.ndarray) else np.asarray(col, np.int64)
 
 
+# Maps the *exact* type of a well-behaved value slot to its bitmap
+# bit.  Anything else (bool, numpy scalars, ...) raises KeyError,
+# which is the pickle-fallback signal — the whole classification runs
+# at C speed via bytes(map(...)).
+_VTYPE_BIT = {float: 1, int: 0}
+_VTYPE_INVERT = bytes.maketrans(b"\x00\x01", b"\x01\x00")
+
+
+def float_mask(vals: list) -> bytes | None:
+    """Per-slot float/int mask of a value column, or ``None`` when the
+    column holds exotic element types (bool, numpy scalars, ...).
+
+    Byte ``1`` marks a ``float`` slot, ``0`` an ``int`` slot.  Runs
+    entirely in C, so callers (the chunk encoder, the streaming
+    engine's batched signature pass) can classify millions of slots
+    per second without a Python-level loop.
+    """
+    try:
+        return bytes(map(_VTYPE_BIT.__getitem__, map(type, vals)))
+    except KeyError:
+        return None
+
+
 def _enc_values(out: bytearray, vals: list) -> None:
     """Encode a value column with exact Python types (int | float)."""
     k = len(vals)
     _w_varint(out, k)
     if not k:
         return
-    fmask = [type(v) is float for v in vals]
-    ints = [v for v, isf in zip(vals, fmask) if not isf]
-    if any(type(v) is not int for v in ints):
+    tmap = float_mask(vals)
+    if tmap is None:
         # exotic element types (never emitted by the VM): keep the
         # round-trip exact rather than coercing
         blob = pickle.dumps(list(vals), protocol=pickle.HIGHEST_PROTOCOL)
@@ -209,9 +266,25 @@ def _enc_values(out: bytearray, vals: list) -> None:
         out += blob
         return
     out.append(_VMODE_COLUMNS)
-    out += np.packbits(np.asarray(fmask, np.uint8), bitorder="little").tobytes()
-    floats = [v for v, isf in zip(vals, fmask) if isf]
-    out += np.asarray(floats, "<f8").tobytes()
+    fmask = np.frombuffer(tmap, np.uint8)
+    out += np.packbits(fmask, bitorder="little").tobytes()
+    nf = tmap.count(1)
+    if nf:
+        floats = (np.asarray(vals, np.float64) if nf == k
+                  else np.fromiter(compress(vals, tmap), np.float64, count=nf))
+        out += floats.astype("<f8", copy=False).tobytes()
+    if nf == k:
+        ints: list | np.ndarray = []
+    elif nf == 0:
+        ints = vals
+    else:
+        sel = compress(vals, tmap.translate(_VTYPE_INVERT))
+        try:
+            ints = np.fromiter(sel, np.int64, count=k - nf)
+        except OverflowError:
+            # beyond-64-bit ints: rebuild the selection as a list so
+            # _enc_int_column takes its varint fallback
+            ints = list(compress(vals, tmap.translate(_VTYPE_INVERT)))
     _enc_int_column(out, ints)
 
 
@@ -255,16 +328,15 @@ def _dec_values(buf, pos: int) -> tuple[list, int]:
         return ints, pos
     if nf == k:
         return floats, pos
-    out: list = [None] * k
-    fi = ii = 0
-    for j, isf in enumerate(fmask):
-        if isf:
-            out[j] = floats[fi]
-            fi += 1
-        else:
-            out[j] = ints[ii]
-            ii += 1
-    return out, pos
+    # mixed column: scatter through an object ndarray (the per-element
+    # Python loop this replaces was the tomcatv decode anomaly).  The
+    # object-dtype intermediates keep the exact Python objects, so the
+    # int/float types round-trip bit-for-bit.
+    out = np.empty(k, object)
+    fb = fmask.view(bool)
+    out[fb] = np.asarray(floats, object)
+    out[~fb] = np.asarray(ints, object)
+    return out.tolist(), pos
 
 
 def _deltas(a: np.ndarray) -> np.ndarray:
@@ -408,10 +480,22 @@ class TraceWriter:
     :meth:`write_segment` (a columnar segment, e.g. one
     ``Machine.run`` chunk); one compressed frame is flushed per
     ``chunk_size`` instructions, so writer memory stays O(chunk)
-    regardless of trace length.  Call :meth:`close` (or use the
-    writer as a context manager) to emit the footer index; crashes
-    before that leave a tail-less file the reader rejects as
-    truncated.
+    regardless of trace length.  A segment that arrives exactly
+    chunk-aligned is emitted as-is, with no buffering copy — callers
+    must not mutate a segment after handing it over.
+
+    With ``threads > 0`` sealed chunks are encoded + deflated on a
+    bounded :class:`~concurrent.futures.ThreadPoolExecutor` (zlib and
+    the numpy codec release the GIL) while the caller keeps
+    executing; completed frames are serialized to the file *in
+    submission order* on the caller's thread, so the output is
+    byte-identical to a serial writer at every pool size.  At most
+    ``threads + 2`` chunks are in flight — the writer blocks on the
+    oldest frame beyond that, keeping memory O(threads · chunk).
+
+    Call :meth:`close` (or use the writer as a context manager) to
+    emit the footer index; crashes before that leave a tail-less
+    file the reader rejects as truncated.
     """
 
     def __init__(
@@ -420,7 +504,8 @@ class TraceWriter:
         *,
         program_name: str = "<anonymous>",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
-        compresslevel: int = 6,
+        compresslevel: int = DEFAULT_COMPRESSLEVEL,
+        threads: int | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -435,6 +520,13 @@ class TraceWriter:
         self.truncated = False
         self.chunk_size = chunk_size
         self._compresslevel = compresslevel
+        self.threads = codec_threads() if threads is None else max(0, threads)
+        self._pool = (
+            ThreadPoolExecutor(
+                self.threads, thread_name_prefix="repro-codec-w")
+            if self.threads else None
+        )
+        self._inflight: deque = deque()  # (future, instruction count)
         self._pending = ColumnarTrace(program_name=program_name)
         self._index: list[list[int]] = []
         self._count = 0
@@ -445,7 +537,8 @@ class TraceWriter:
     @property
     def count(self) -> int:
         """Instructions accepted so far (flushed + pending)."""
-        return self._count + len(self._pending)
+        return (self._count + sum(c for _, c in self._inflight)
+                + len(self._pending))
 
     def append(self, pc, op, reads, writes, latency, next_pc) -> None:
         """Append one dynamic instruction."""
@@ -454,11 +547,34 @@ class TraceWriter:
             self._flush_full()
 
     def write_segment(self, segment: ColumnarTrace) -> None:
-        """Append a columnar segment (any length; rechunked internally)."""
-        from repro.vm.trace import extend_columnar
+        """Append a columnar segment (any length; rechunked internally).
 
+        The segment is treated as frozen from here on: chunk-aligned
+        input is emitted without copying (possibly from a pool
+        thread), so mutating it afterwards corrupts the file.
+        """
+        from repro.vm.trace import extend_columnar, slice_columnar
+
+        cs = self.chunk_size
+        if not len(self._pending):
+            # fast path: nothing buffered, slice frames straight off
+            # the incoming segment (zero copies when already aligned)
+            n = len(segment)
+            start = 0
+            while n - start >= cs:
+                if start == 0 and n == cs:
+                    self._emit(segment)
+                else:
+                    self._emit(slice_columnar(segment, start, start + cs))
+                start += cs
+            if start < n:
+                extend_columnar(
+                    self._pending,
+                    segment if start == 0 else slice_columnar(segment, start, n),
+                )
+            return
         extend_columnar(self._pending, segment)
-        if len(self._pending) >= self.chunk_size:
+        if len(self._pending) >= cs:
             self._flush_full()
 
     def _flush_full(self) -> None:
@@ -472,14 +588,38 @@ class TraceWriter:
         self._pending = pending
 
     def _emit(self, segment: ColumnarTrace) -> None:
+        if self._pool is None:
+            raw = encode_chunk(segment)
+            self._write_frame(len(segment), len(raw),
+                              zlib.compress(raw, self._compresslevel))
+            return
+        self._inflight.append(
+            (self._pool.submit(self._encode_job, segment), len(segment)))
+        self._reap(max_inflight=self.threads + 2)
+
+    def _encode_job(self, segment: ColumnarTrace) -> tuple[int, bytes]:
         raw = encode_chunk(segment)
-        comp = zlib.compress(raw, self._compresslevel)
+        return len(raw), zlib.compress(raw, self._compresslevel)
+
+    def _reap(self, *, max_inflight: int = 0) -> None:
+        """Write completed frames in submission order; block only while
+        more than ``max_inflight`` encode jobs are outstanding."""
+        inflight = self._inflight
+        while inflight:
+            fut, count = inflight[0]
+            if len(inflight) <= max_inflight and not fut.done():
+                return
+            inflight.popleft()
+            raw_len, comp = fut.result()
+            self._write_frame(count, raw_len, comp)
+
+    def _write_frame(self, count: int, raw_len: int, comp: bytes) -> None:
         self._fh.write(CHUNK_MAGIC)
-        self._fh.write(struct.pack("<II", len(raw), len(comp)))
+        self._fh.write(struct.pack("<II", raw_len, len(comp)))
         self._fh.write(comp)
-        self._index.append([self._offset, len(segment), len(raw), len(comp)])
+        self._index.append([self._offset, count, raw_len, len(comp)])
         self._offset += len(CHUNK_MAGIC) + 8 + len(comp)
-        self._count += len(segment)
+        self._count += count
 
     def close(self, *, halted: bool | None = None,
               truncated: bool | None = None) -> None:
@@ -493,6 +633,10 @@ class TraceWriter:
         if len(self._pending):
             self._emit(self._pending)
             self._pending = ColumnarTrace(program_name=self.program_name)
+        self._reap()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         meta = {
             "program": self.program_name,
             "halted": bool(self.halted),
@@ -516,6 +660,10 @@ class TraceWriter:
     def abort(self) -> None:
         """Close the underlying file without writing a footer."""
         self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._inflight.clear()
         if self._owns_fh:
             self._fh.close()
 
@@ -632,8 +780,8 @@ class TraceReader:
         return self.count
 
     # -- chunk access --------------------------------------------------
-    def chunk(self, i: int) -> ColumnarTrace:
-        """Decode chunk ``i`` (O(1) seek via the footer index)."""
+    def _read_frame(self, i: int) -> bytes:
+        """Read (and validate) chunk ``i``'s compressed frame payload."""
         fh = self._fh
         if fh is None:
             raise ValueError("reader is closed")
@@ -648,11 +796,17 @@ class TraceReader:
         comp = fh.read(comp_len)
         if len(comp) != comp_len:
             raise self._err(f"corrupt chunk {i} (short frame)")
+        return comp
+
+    def _decode_frame(self, i: int, comp: bytes) -> ColumnarTrace:
+        """Inflate + decode one frame payload (thread-safe: touches no
+        reader state besides immutable footer fields)."""
+        entry = self.index[i]
         try:
             raw = zlib.decompress(comp)
         except zlib.error as exc:
             raise self._err(f"corrupt chunk {i}: {exc}") from exc
-        if len(raw) != raw_len:
+        if len(raw) != entry.raw_bytes:
             raise self._err(f"corrupt chunk {i} (decompressed length mismatch)")
         try:
             ct = decode_chunk(raw, program_name=self.program_name)
@@ -662,10 +816,41 @@ class TraceReader:
             raise self._err(f"corrupt chunk {i} (instruction count mismatch)")
         return ct
 
-    def chunks(self) -> Iterator[ColumnarTrace]:
-        """Yield chunks in stream order (O(chunk) live memory)."""
-        for i in range(len(self.index)):
-            yield self.chunk(i)
+    def chunk(self, i: int) -> ColumnarTrace:
+        """Decode chunk ``i`` (O(1) seek via the footer index)."""
+        return self._decode_frame(i, self._read_frame(i))
+
+    def chunks(self, *, prefetch: int | None = None) -> Iterator[ColumnarTrace]:
+        """Yield chunks in stream order.
+
+        With ``prefetch=K > 0`` (default: :func:`codec_threads`) the
+        next K frames are read ahead and inflated + decoded on a
+        thread pool while the consumer works on the current chunk.
+        Frame reads stay on the consumer's thread (one seek cursor);
+        only the CPU-bound inflate/decode is offloaded.  At most
+        ``K + 2`` decoded chunks are ever live — K in flight, the one
+        being yielded, and the consumer's previous one — so memory
+        stays O(K · chunk) regardless of file size.
+        """
+        k = codec_threads() if prefetch is None else max(0, prefetch)
+        n = len(self.index)
+        if not k or n <= 1:
+            for i in range(n):
+                yield self.chunk(i)
+            return
+        pool = ThreadPoolExecutor(
+            min(k, 8), thread_name_prefix="repro-codec-r")
+        try:
+            pending: deque = deque()
+            for i in range(n):
+                while len(pending) < k and (j := i + len(pending)) < n:
+                    pending.append(
+                        pool.submit(self._decode_frame, j, self._read_frame(j)))
+                yield pending.popleft().result()
+        finally:
+            for fut in pending:
+                fut.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def materialize(self) -> ColumnarTrace:
         """The whole trace as one :class:`ColumnarTrace` (adapter path)."""
@@ -706,7 +891,7 @@ class TraceReader:
 
 def write_v3(trace, path: str | pathlib.Path, *,
              chunk_size: int = DEFAULT_CHUNK_SIZE,
-             compresslevel: int = 6) -> None:
+             compresslevel: int = DEFAULT_COMPRESSLEVEL) -> None:
     """Write a materialized trace as a v3 file (chunked on the way out)."""
     from repro.vm.trace import as_columnar
 
@@ -725,13 +910,94 @@ def write_v3(trace, path: str | pathlib.Path, *,
     writer.close(halted=ct.halted, truncated=ct.truncated)
 
 
-def trace_v3_info(path: str | pathlib.Path) -> dict:
-    """Structural stats of a v3 file (for ``repro trace info``)."""
+#: Chunk payload sections, in on-disk order.
+SECTION_NAMES = (
+    "pcs", "branch_bitmap", "branch_offsets", "ops", "lats",
+    "read_counts", "write_counts", "read_locs", "write_locs",
+    "read_vals", "write_vals",
+)
+
+_INT_MODE_NAMES = {1: "u8", 2: "u16", 4: "u32", 8: "u64",
+                   _MODE_VARINT: "varint"}
+
+
+def _peek_int_mode(buf, pos: int) -> str:
+    k, p = _r_varint(buf, pos)
+    if not k:
+        return "empty"
+    return _INT_MODE_NAMES.get(buf[p], f"{buf[p]:#x}") if p < len(buf) else "?"
+
+
+def _peek_value_mode(buf, pos: int) -> str:
+    k, p = _r_varint(buf, pos)
+    if not k:
+        return "empty"
+    if p >= len(buf):
+        return "?"
+    if buf[p] == _VMODE_PICKLE:
+        return "pickle"
+    nb = (k + 7) // 8
+    return f"bitmap+f8+{_peek_int_mode(buf, p + 1 + nb)}"
+
+
+def _scan_sections(buf: bytes) -> list[dict]:
+    """Decode one chunk payload section-by-section, timing each decode
+    and recording its encoded size and codec mode.  The section walk
+    mirrors :func:`decode_chunk` exactly, so sizes sum to the payload."""
+    import time
+
+    out: list[dict] = []
+
+    def record(name, mode, start_pos, fn):
+        t0 = time.perf_counter()
+        pos = fn(start_pos)
+        out.append({
+            "column": name,
+            "mode": mode,
+            "encoded_bytes": pos - start_pos,
+            "decode_seconds": time.perf_counter() - t0,
+        })
+        return pos
+
+    pos = 0
+    n, pos = _r_varint(buf, pos)
+    header = pos
+    if n:
+        pos = record("pcs", _peek_int_mode(buf, pos), pos,
+                     lambda p: _dec_int_column(buf, p)[1])
+        nb = (n + 7) // 8
+        pos = record("branch_bitmap", "bitmap", pos, lambda p: p + nb)
+        for name in ("branch_offsets", "ops", "lats", "read_counts",
+                     "write_counts", "read_locs", "write_locs"):
+            pos = record(name, _peek_int_mode(buf, pos), pos,
+                         lambda p: _dec_int_column(buf, p)[1])
+        for name in ("read_vals", "write_vals"):
+            pos = record(name, _peek_value_mode(buf, pos), pos,
+                         lambda p: _dec_values(buf, p)[1])
+    if pos != len(buf):
+        raise TraceFileError("trailing bytes after chunk payload")
+    out.insert(0, {"column": "header", "mode": "varint",
+                   "encoded_bytes": header, "decode_seconds": 0.0})
+    return out
+
+
+def trace_v3_info(path: str | pathlib.Path, *, columns: bool = False,
+                  per_chunk: bool = False) -> dict:
+    """Structural stats of a v3 file (for ``repro trace info``).
+
+    ``columns=True`` decodes every chunk section-by-section and
+    aggregates per-column encoded size, decode time and codec mode;
+    ``per_chunk=True`` adds one entry per chunk (sizes, ratio,
+    inflate+decode wall time).  Both default off — the base call
+    reads only the footer.
+    """
+    import time
+
     path = pathlib.Path(path)
     with TraceReader(path) as reader:
         raw = reader.raw_bytes
         comp = reader.comp_bytes
-        return {
+        info = {
             "format": "v3",
             "path": str(path),
             "program": reader.program_name,
@@ -748,3 +1014,39 @@ def trace_v3_info(path: str | pathlib.Path) -> dict:
                 path.stat().st_size / reader.count if reader.count else 0.0
             ),
         }
+        if not (columns or per_chunk):
+            return info
+        col_stats: dict[str, dict] = {}
+        chunk_stats: list[dict] = []
+        for i, entry in enumerate(reader.index):
+            frame = reader._read_frame(i)
+            t0 = time.perf_counter()
+            payload = zlib.decompress(frame)
+            if len(payload) != entry.raw_bytes:
+                raise TraceFileError(
+                    f"{path}: corrupt chunk {i} (decompressed length mismatch)")
+            sections = _scan_sections(payload)
+            elapsed = time.perf_counter() - t0
+            for sec in sections:
+                agg = col_stats.setdefault(sec["column"], {
+                    "encoded_bytes": 0, "decode_seconds": 0.0, "modes": {},
+                })
+                agg["encoded_bytes"] += sec["encoded_bytes"]
+                agg["decode_seconds"] += sec["decode_seconds"]
+                agg["modes"][sec["mode"]] = agg["modes"].get(sec["mode"], 0) + 1
+            if per_chunk:
+                chunk_stats.append({
+                    "chunk": i,
+                    "instructions": entry.count,
+                    "encoded_bytes": entry.raw_bytes,
+                    "compressed_bytes": entry.comp_bytes,
+                    "compression_ratio": (
+                        entry.raw_bytes / entry.comp_bytes
+                        if entry.comp_bytes else 0.0),
+                    "decode_seconds": elapsed,
+                })
+        if columns:
+            info["columns"] = col_stats
+        if per_chunk:
+            info["chunks"] = chunk_stats
+        return info

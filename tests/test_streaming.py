@@ -319,3 +319,84 @@ class TestBeyondRAM:
         assert got["rtm_reused"] == rtm.reused_instructions
         assert got["rtm_events"] == rtm.reuse_events
         assert got["rtm_invalidations"] == rtm.rtm_invalidations
+
+
+class TestDirectStream:
+    """The tee'd execute→analyze path: one execution feeds the analysis
+    *and* persists the cache entry, bit- and byte-identical to the
+    legacy write-then-reread path."""
+
+    CONFIG = ExperimentConfig(
+        max_instructions=1_500,
+        reuse_latencies=(1, 4),
+        proportional_ks=(1 / 8, 1.0),
+    )
+
+    def test_tee_profiles_bit_identical_all_kernels(self, tmp_path,
+                                                    monkeypatch):
+        """Each kernel's cold profile through the tee equals the legacy
+        path's, and the two cache entries are byte-identical (the
+        writer re-chunks, so execution segmentation never leaks into
+        the file)."""
+        import dataclasses as dc
+
+        for name in KERNELS:
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a" / name))
+            direct = run_profile_streaming(
+                name, dc.replace(self.CONFIG, direct_stream=True))
+            (entry_a,) = (tmp_path / "a" / name / "traces").glob("*.trace")
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b" / name))
+            legacy = run_profile_streaming(
+                name, dc.replace(self.CONFIG, direct_stream=False))
+            (entry_b,) = (tmp_path / "b" / name / "traces").glob("*.trace")
+            assert dataclasses.asdict(direct) == dataclasses.asdict(legacy), name
+            assert entry_a.read_bytes() == entry_b.read_bytes(), name
+
+    def test_tee_persists_and_replays(self, tmp_path, monkeypatch):
+        from repro.vm.tracestream import TeeChunkStream
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        stream = stream_workload("li", max_instructions=1_000,
+                                 use_cache=True, direct=True)
+        assert isinstance(stream, TeeChunkStream)
+        assert not stream.persisted
+        first = [len(c) for c in stream.chunks()]
+        assert stream.persisted  # complete drain published the entry
+        assert sum(first) == 1_000
+        # later drains replay the cache entry, not the machine
+        assert sum(len(c) for c in stream.chunks()) == 1_000
+
+    def test_abandoned_drain_publishes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        stream = stream_workload("li", max_instructions=5_000,
+                                 use_cache=True, chunk_size=100, direct=True)
+        it = stream.chunks()
+        next(it)
+        it.close()  # consumer walks away mid-drain
+        assert not stream.persisted
+        traces = tmp_path / "cache" / "traces"
+        leftovers = list(traces.iterdir()) if traces.exists() else []
+        assert [p for p in leftovers if p.suffix == ".trace"] == []
+        # the next drain starts over and completes normally
+        assert sum(len(c) for c in stream.chunks()) == 5_000
+        assert stream.persisted
+
+    def test_env_knob_disables_direct(self, monkeypatch):
+        from repro.vm.tracestream import direct_stream_enabled
+
+        assert direct_stream_enabled() is True
+        assert direct_stream_enabled(False) is False
+        for raw in ("0", "false", "no", "off", ""):
+            monkeypatch.setenv("REPRO_DIRECT_STREAM", raw)
+            assert direct_stream_enabled() is False
+        monkeypatch.setenv("REPRO_DIRECT_STREAM", "1")
+        assert direct_stream_enabled() is True
+        # an explicit config value beats the environment
+        assert direct_stream_enabled(False) is False
+
+    def test_direct_stream_shares_the_profile_cache_key(self):
+        import dataclasses as dc
+
+        on = dc.replace(self.CONFIG, direct_stream=True)
+        off = dc.replace(self.CONFIG, direct_stream=False)
+        assert on.cache_key() == off.cache_key()

@@ -285,3 +285,102 @@ class TestInfo:
         assert info["chunk_size"] == 100
         assert info["chunk_count"] == 7
         assert trace_identical(load_trace(src), load_trace(dst))
+
+
+class TestThreadedCodec:
+    """The codec thread pool reorders *work*, never *bytes*: frames are
+    serialized in submission order, and zlib is deterministic, so any
+    pool size produces the identical file."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return run_workload("compress", max_instructions=2_000)
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    @pytest.mark.parametrize("threads", (1, 2, 8))
+    def test_threaded_writer_byte_identical(self, tmp_path, trace,
+                                            threads, chunk_size):
+        serial = tmp_path / "serial.trace"
+        pooled = tmp_path / "pooled.trace"
+        write_stream(trace, serial, chunk_size=chunk_size, threads=0)
+        write_stream(trace, pooled, chunk_size=chunk_size, threads=threads)
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_abort_with_pool_leaves_no_footer(self, tmp_path, trace):
+        path = tmp_path / "aborted.trace"
+        writer = TraceWriter(path, chunk_size=64, threads=2)
+        writer.write_segment(as_columnar(trace))
+        writer.abort()
+        with pytest.raises(TraceFileError):
+            load_trace(path)
+
+    def test_env_knob_resolves_pool_size(self, monkeypatch):
+        from repro.vm.tracev3 import codec_threads
+
+        monkeypatch.setenv("REPRO_CODEC_THREADS", "3")
+        assert codec_threads() == 3
+        monkeypatch.setenv("REPRO_CODEC_THREADS", "0")
+        assert codec_threads() == 0
+
+
+class TestPrefetchReader:
+    @pytest.mark.parametrize("prefetch", (1, 3))
+    def test_prefetch_holds_at_most_k_plus_two(self, tmp_path, prefetch):
+        """Read-ahead is bounded: with ``prefetch=K`` at most K + 2
+        decoded chunks are ever live (K in flight plus the yielded one
+        plus the consumer's previous one); counted via the gc as in
+        ``TestBoundedMemory``."""
+        from repro.vm.trace import ColumnarTrace
+
+        trace = run_workload("compress", max_instructions=4_000)
+        path = tmp_path / "many.trace"
+        write_v3(trace, path, chunk_size=100)  # 40 chunks
+        del trace
+        gc.collect()
+        baseline = sum(1 for o in gc.get_objects()
+                       if isinstance(o, ColumnarTrace))
+        seen = 0
+        max_live = 0
+        with TraceReader(path) as reader:
+            for chunk in reader.chunks(prefetch=prefetch):
+                seen += 1
+                del chunk
+                gc.collect()
+                live = sum(1 for o in gc.get_objects()
+                           if isinstance(o, ColumnarTrace)) - baseline
+                max_live = max(max_live, live)
+        assert seen == 40
+        assert max_live <= prefetch + 2, (
+            f"{max_live} chunks live with prefetch={prefetch}")
+
+    def test_prefetch_yields_identical_chunks(self, tmp_path):
+        trace = run_workload("li", max_instructions=1_500)
+        path = tmp_path / "t.trace"
+        write_v3(trace, path, chunk_size=128)
+        with TraceReader(path) as reader:
+            plain = [c for c in reader.chunks(prefetch=0)]
+            ahead = [c for c in reader.chunks(prefetch=4)]
+        assert len(plain) == len(ahead)
+        for a, b in zip(plain, ahead):
+            assert trace_identical(a, b)
+
+
+class TestInfoColumns:
+    def test_column_sections_sum_to_payload(self, tmp_path):
+        from repro.vm.tracev3 import SECTION_NAMES
+
+        trace = run_workload("compress", max_instructions=2_000)
+        path = tmp_path / "t.trace"
+        write_v3(trace, path, chunk_size=512)
+        info = trace_file_info(path, columns=True, per_chunk=True)
+        cols = info["columns"]
+        assert set(cols) == set(SECTION_NAMES) | {"header"}
+        total = sum(c["encoded_bytes"] for c in cols.values())
+        assert total == info["encoded_bytes"]
+        chunks = info["chunks"]
+        assert len(chunks) == info["chunk_count"]
+        assert sum(c["encoded_bytes"] for c in chunks) == info["encoded_bytes"]
+        assert sum(c["compressed_bytes"] for c in chunks) == info["compressed_bytes"]
+        assert sum(c["instructions"] for c in chunks) == 2_000
+        # the dominant columns carry a real codec mode tag
+        assert any("bitmap+f8" in m for m in cols["read_vals"]["modes"])
